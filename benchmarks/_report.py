@@ -1,0 +1,27 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each experiment emits its paper-style rows both to stdout and to
+``benchmarks/results/<experiment>.txt`` so the regenerated tables survive
+pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(experiment: str, lines: Iterable[str]) -> List[str]:
+    """Print the experiment's rows and persist them; returns the lines."""
+    rendered = list(lines)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        for line in rendered:
+            handle.write(line + "\n")
+    print(f"\n=== {experiment} ===")
+    for line in rendered:
+        print(line)
+    return rendered

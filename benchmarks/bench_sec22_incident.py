@@ -1,0 +1,91 @@
+"""E7 — Section 2.2: the incident playbook (detect, scale down, repair,
+restore) on a drifting stream.
+
+Paper requirements reproduced as a measured series: precision degrades when
+a vendor's alien vocabulary floods a department; the monitor detects it;
+scale-down stops the bleeding (recall dips); analyst repair + restore bring
+precision back above the floor.
+"""
+
+import pytest
+
+from _report import emit
+from repro.analyst import SimulatedAnalyst
+from repro.catalog import CatalogGenerator, DriftInjector, build_seed_taxonomy
+from repro.chimera import Chimera, IncidentManager, PrecisionMonitor
+from repro.utils.clock import SimClock
+
+SEED = 522
+FLOOR = 0.92
+
+
+def run_incident():
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+    clock = SimClock()
+    analyst = SimulatedAnalyst(taxonomy, clock=clock, seed=SEED,
+                               verification_accuracy=1.0, labeling_accuracy=1.0)
+    chimera = Chimera.build(seed=SEED)
+    chimera.add_training(generator.generate_labeled(2500))
+    chimera.retrain(min_examples_per_type=5)
+    monitor = PrecisionMonitor(floor=FLOOR, window=4)
+    incidents = IncidentManager(chimera)
+    series = []
+
+    def observe(phase):
+        batch = generator.generate_items(400)
+        result = chimera.classify_batch(batch)
+        errors = Counter = {}
+        for item, label in result.classified_pairs:
+            if item.true_type != label:
+                errors[label] = errors.get(label, 0) + 1
+        monitor.record(phase, clock.now, result.true_precision(),
+                       result.coverage, len(batch), errors_by_type=errors)
+        series.append((phase, result.true_precision(), result.coverage))
+        return result
+
+    observe("baseline-1")
+    observe("baseline-2")
+
+    drift = DriftInjector(generator, seed=SEED + 1)
+    drift.shift_head_vocabulary("jeans", ["dungaree", "boys short"])
+    drift.replace_slot("jeans", "fabric", ["serge", "selvedge", "twill"])
+    drift.replace_slot("jeans", "fit", ["comfort cut", "tapered"])
+    drift.shift_distribution({"jeans": 18.0})
+    degraded = observe("drift-1")
+    observe("drift-2")
+    detected = monitor.persistent_degradation(batches=2)
+
+    suspects = [name for name, _ in monitor.suspect_types(2)]
+    incident = incidents.open_incident(suspects or ["jeans"], at=clock.now)
+    incidents.scale_down(incident)
+    observe("scaled-down")
+
+    error_samples = [(item, label) for item, label in degraded.classified_pairs
+                     if item.true_type != label][:40]
+    incidents.repair(incident, analyst, error_samples)
+    incidents.restore(incident)
+    observe("restored-1")
+    observe("restored-2")
+    return series, detected, incident
+
+
+def test_sec22_incident(benchmark):
+    series, detected, incident = benchmark.pedantic(run_incident, rounds=1,
+                                                    iterations=1)
+    lines = [f"{'phase':12s} precision  coverage"]
+    for phase, precision, coverage in series:
+        lines.append(f"{phase:12s} {precision:9.3f}  {coverage:8.3f}")
+    lines.append(f"monitor detected degradation: {detected}")
+    lines.append(f"incident outcome: {incident.status}; {incident.notes}")
+    emit("E7_sec22_incident", lines)
+
+    by_phase = {phase: (p, c) for phase, p, c in series}
+    assert by_phase["baseline-1"][0] >= FLOOR
+    assert by_phase["drift-1"][0] < by_phase["baseline-1"][0] - 0.05
+    assert detected
+    # Scale-down halts bad predictions for the affected types.
+    assert by_phase["scaled-down"][0] >= by_phase["drift-2"][0]
+    # Repair + restore recover precision.
+    assert by_phase["restored-2"][0] >= FLOOR - 0.02
+    assert incident.status == "closed"

@@ -1,0 +1,148 @@
+"""E10 — Section 4 "Rule Maintenance": subsumption, overlap, staleness,
+taxonomy change, and the consolidation/debuggability trade-off.
+
+Paper claims reproduced as measured rows:
+
+* `denim.*jeans?` is detected as subsumed by `jeans?`;
+* heavily-overlapping rule pairs are surfaced;
+* rules that drift imprecise (or stop matching) are flagged by the monitor;
+* splitting a type invalidates its rules and proposes retargets;
+* consolidating n rules into one raises the analyst's error-localization
+  cost (the paper's stated tension).
+"""
+
+import pytest
+
+from _report import emit
+from repro.catalog import CatalogGenerator, DriftInjector, build_seed_taxonomy
+from repro.core import WhitelistRule
+from repro.maintenance import (
+    StalenessMonitor,
+    consolidate_rules,
+    find_overlaps,
+    find_subsumptions,
+    localization_cost,
+    plan_for_split,
+    prune_redundant,
+)
+from repro.rulegen import RuleGenerator
+
+SEED = 542
+
+
+@pytest.fixture(scope="module")
+def workload():
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+    training = generator.generate_labeled(6000)
+    generated = RuleGenerator(min_support=0.03, q=40).generate(training).rules
+    # Plus the paper's hand-written examples.
+    hand = [
+        WhitelistRule("jeans?", "jeans"),
+        WhitelistRule("denim.*jeans?", "jeans"),
+        WhitelistRule("abrasive.*(wheels?|discs?)", "abrasive wheels & discs"),
+        WhitelistRule("(abrasive|sanding) (wheels?|discs?)", "abrasive wheels & discs"),
+    ]
+    items = generator.generate_items(2000)
+    return taxonomy, generator, generated + hand, hand, items
+
+
+def test_sec4_subsumption_and_overlap(benchmark, workload):
+    taxonomy, generator, rules, hand, items = workload
+    pairs = benchmark.pedantic(lambda: find_subsumptions(rules, items),
+                               rounds=1, iterations=1)
+    overlaps = find_overlaps(rules, items, threshold=0.5)
+    pruned = prune_redundant(rules, pairs)
+
+    jeans_pair = [p for p in pairs
+                  if p.general_id == hand[0].rule_id and p.redundant_id == hand[1].rule_id]
+    lines = [
+        f"rules examined            : {len(rules)}",
+        f"subsumption pairs found   : {len(pairs)}",
+        f"  'jeans?' subsumes 'denim.*jeans?': {bool(jeans_pair)}",
+        f"rules after pruning       : {len(pruned)}",
+        f"overlapping pairs (J>=0.5): {len(overlaps)}",
+    ]
+    emit("E10_sec4_maintenance_detect", lines)
+    assert jeans_pair, "the paper's canonical subsumption must be found"
+    assert len(pruned) < len(rules)
+    assert overlaps
+
+
+def test_sec4_staleness_and_split(benchmark, workload):
+    taxonomy_src, _, _, _, _ = workload
+    from repro.catalog import build_seed_taxonomy as fresh_taxonomy
+    taxonomy = fresh_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED + 1)
+    rule = WhitelistRule("jeans?", "jeans")
+    monitor = StalenessMonitor(window_batches=6, precision_floor=0.9)
+
+    def run():
+        # Healthy batches, then head-vocabulary drift makes the rule stale.
+        for _ in range(3):
+            monitor.observe_batch([rule], generator.generate_items(300))
+        DriftInjector(generator, seed=SEED + 2).shift_head_vocabulary(
+            "jeans", ["dungaree"])
+        for _ in range(5):
+            monitor.observe_batch([rule], generator.generate_items(300))
+        return monitor.inapplicable_rules(idle_batches=5)
+
+    inapplicable = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Taxonomy split: pants-style scenario on "work pants".
+    split_taxonomy = fresh_taxonomy()
+    split_generator = CatalogGenerator(split_taxonomy, seed=SEED + 3)
+    drift = DriftInjector(split_generator, seed=SEED + 4)
+    pants_rules = [WhitelistRule("work pants?", "work pants"),
+                   WhitelistRule("cargo.*pants?", "work pants")]
+    _, replacements = drift.split_type("work pants", {
+        "utility pants": ["cargo", "utility", "canvas"],
+        "safety pants": ["flame resistant", "tactical", "duck"],
+    })
+    sample = split_generator.generate_items(2500)
+    plan = plan_for_split(pants_rules, "work pants",
+                          [r.name for r in replacements], sample)
+
+    lines = [
+        f"stale (inapplicable) rules flagged : {[h.rule_id for h in inapplicable]}",
+        f"split invalidated rules            : {plan.n_affected}",
+        f"  retarget proposals               : { {k: v for k, v in plan.retargets.items()} }",
+        f"  undecidable (analyst rewrite)    : {len(plan.undecidable)}",
+    ]
+    emit("E10_sec4_maintenance_lifecycle", lines)
+    assert [h.rule_id for h in inapplicable] == [rule.rule_id]
+    assert plan.n_affected == 2
+    assert plan.retargets.get(pants_rules[1].rule_id) == "utility pants"
+
+
+def test_sec4_consolidation_tradeoff(benchmark, workload):
+    taxonomy, generator, _, _, items = workload
+    branch_counts = [1, 2, 4, 8, 16]
+    rows = []
+    for count in branch_counts:
+        rules = [WhitelistRule(f"style{i} rings?", "rings") for i in range(count - 1)]
+        rules.append(WhitelistRule("wedding bands?", "rings"))
+        consolidated = consolidate_rules(rules)
+        from repro.catalog.types import ProductItem
+        bad = ProductItem(item_id="x", title="wedding band for watches")
+        cost = localization_cost(consolidated, bad)
+        rows.append((count, cost))
+
+    benchmark.pedantic(
+        lambda: consolidate_rules(
+            [WhitelistRule(f"p{i} rings?", "rings") for i in range(16)]
+        ),
+        rounds=1, iterations=1,
+    )
+
+    lines = [f"{'branches':>8s}  localization cost (probe evals)"]
+    for count, cost in rows:
+        lines.append(f"{count:>8d}  {cost}")
+    lines.append("-> consolidation shrinks the rule count but debugging cost "
+                 "grows with branch count (the paper's stated tension)")
+    emit("E10_sec4_consolidation", lines)
+
+    costs = [cost for _, cost in rows]
+    assert costs[0] == 1
+    assert costs[-1] > costs[0]
+    assert all(b <= a * 2 + 8 for a, b in zip(costs, costs[1:]))  # sane growth

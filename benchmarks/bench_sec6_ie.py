@@ -1,0 +1,92 @@
+"""E11 — Section 6 "Information Extraction": rule-based IE vs learning.
+
+Paper claims reproduced: a rule stack (dictionary + context patterns for
+brands, normalization rules, regexes for weight/size/color/volume — "it was
+easier to use regular expressions to capture the appearance patterns of
+such attributes") reaches high precision on product text; a learned token
+tagger is competitive on brands but is the opaque alternative. Mirrors
+[8]'s finding that rule-based IE dominates industry.
+"""
+
+import pytest
+
+from _report import emit
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.ie import (
+    DictionaryExtractor,
+    IEPipeline,
+    NormalizationRules,
+    PerceptronTagger,
+    color_extractor,
+    volume_extractor,
+    weight_extractor,
+)
+from repro.utils.text import normalize_text
+
+SEED = 561
+
+
+@pytest.fixture(scope="module")
+def workload():
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+    brands = set()
+    for product_type in taxonomy:
+        brands.update(product_type.brands)
+    pipeline = IEPipeline(
+        [
+            DictionaryExtractor("brand", brands, max_edits=1,
+                                context_markers=("brand", "by")),
+            weight_extractor(),
+            color_extractor(),
+            volume_extractor(),
+        ],
+        NormalizationRules({"hewlett packard": "hp"}),
+    )
+    train_items = generator.generate_items(900)
+    test_items = generator.generate_items(600)
+    return pipeline, train_items, test_items
+
+
+def _train_tagger(train_items):
+    sentences, labels = [], []
+    for item in train_items:
+        tokens = normalize_text(f"{item.title}. {item.description}").split()
+        brand = (item.attribute("brand_name") or "").lower()
+        flags = [bool(brand) and token.strip(".") == brand for token in tokens]
+        sentences.append(tokens)
+        labels.append(flags)
+    return PerceptronTagger(epochs=4).fit(sentences, labels)
+
+
+def test_sec6_ie(benchmark, workload):
+    pipeline, train_items, test_items = workload
+    report = benchmark.pedantic(lambda: pipeline.evaluate(test_items),
+                                rounds=1, iterations=1)
+
+    tagger = _train_tagger(train_items)
+    correct = total = 0
+    for item in test_items:
+        truth = item.attribute("brand_name")
+        if truth is None:
+            continue
+        total += 1
+        spans = tagger.extract_spans(f"{item.title}. {item.description}")
+        if any(span.strip(".") == truth.lower() for span in spans):
+            correct += 1
+    tagger_recall = correct / total
+
+    lines = [f"{'attribute':10s} {'P':>6s} {'R':>6s} {'n':>5s}   (rule-based pipeline)"]
+    for attribute, (precision, recall, support) in report.per_attribute.items():
+        lines.append(f"{attribute:10s} {precision:6.2f} {recall:6.2f} {support:5d}")
+    lines.append(f"learned tagger brand recall: {tagger_recall:.2f} (n={total})")
+    lines.append("-> rules reach production precision with traceable, editable "
+                 "behaviour; the tagger is the opaque competitor")
+    emit("E11_sec6_ie", lines)
+
+    brand_precision, brand_recall, _ = report.row("brand")
+    assert brand_precision >= 0.95 and brand_recall >= 0.9
+    weight_precision, weight_recall, _ = report.row("weight")
+    assert weight_precision >= 0.95 and weight_recall >= 0.95
+    assert report.macro_precision() >= 0.8
+    assert tagger_recall >= 0.7  # learned baseline is competitive, not dominant

@@ -1,0 +1,134 @@
+"""E15 — Section 6: KB construction with replayed curation rules, entity
+linking rule stages, and event monitoring with live scale-down rules.
+
+Paper claims reproduced:
+
+* KB curation actions are captured as rules and re-applied after every
+  rebuild ("the next day after the construction pipeline has been
+  refreshed ... these curation rules are being applied again");
+* the tagging pipeline's rule stages (overlap removal, blacklist,
+  sentence-boundary, editorial) each change the mention stream;
+* tightening an event's rules ("making it more conservative") trades
+  recall for precision in real time.
+"""
+
+import pytest
+
+from _report import emit
+from repro.catalog import build_seed_taxonomy
+from repro.kb import CurationLog, CurationRule, KbBuilder
+from repro.tagging import EntityLinker, EventMonitor, EventSpec, TweetGenerator
+
+SEED = 563
+
+
+def test_sec6_kb_curation(benchmark):
+    taxonomy = build_seed_taxonomy()
+    builder = KbBuilder(taxonomy, seed=SEED, systematic_noise_edges=3)
+    kb0 = builder.build(day=0)
+    log = CurationLog()
+    # Analysts curate day 0: remove every misplaced taxonomy edge.
+    for node in kb0.nodes():
+        if node in taxonomy:
+            for parent in kb0.parents(node):
+                if parent != taxonomy.get(node).department:
+                    log.record(CurationRule("remove_edge", parent, node), kb0)
+
+    def replay_week():
+        applied_per_day = []
+        bad_edges_per_day = []
+        for day in range(1, 8):
+            kb = builder.build(day)
+            applied_per_day.append(log.replay(kb))
+            bad = sum(
+                1 for node in kb.nodes() if node in taxonomy
+                for parent in kb.parents(node)
+                if parent != taxonomy.get(node).department
+            )
+            bad_edges_per_day.append(bad)
+        return applied_per_day, bad_edges_per_day
+
+    applied, residual_bad = benchmark.pedantic(replay_week, rounds=1, iterations=1)
+    stale = log.stale_rules(min_replays=7)
+
+    lines = [
+        f"curation rules recorded day 0 : {len(log)}",
+        f"rules applied on days 1-7     : {applied}",
+        f"residual bad edges days 1-7   : {residual_bad} (new per-day noise only)",
+        f"stale rules after a week      : {len(stale)}",
+    ]
+    emit("E15a_sec6_kb_curation", lines)
+    # Systematic source errors recur and are fixed by replay every day.
+    assert all(count >= 3 for count in applied)
+    # What remains is only the fresh per-day noise the analysts haven't seen.
+    assert all(bad <= builder.noise_edges_per_build for bad in residual_bad)
+
+
+def test_sec6_tagging_stages(benchmark):
+    taxonomy = build_seed_taxonomy()
+    kb = KbBuilder(taxonomy, seed=SEED, noise_edges_per_build=0,
+                   noise_brands_per_build=0, systematic_noise_edges=0).build(0)
+    linker = EntityLinker(kb, blacklist=["apple"], editorial_drops=["sony"])
+    documents = [
+        "the new apple laptop computers are great. samsung too",
+        "apple pie with headphones on. sony makes headphones",
+        "buying area rugs and a smart tv today",
+        "this is great. samsung makes phones and smart tvs",
+    ]
+
+    def run():
+        stage_counts = {"detected": 0, "after_overlap": 0, "after_blacklist": 0,
+                        "after_sentence": 0, "final": 0}
+        for document in documents:
+            mentions = linker.detect(document)
+            stage_counts["detected"] += len(mentions)
+            mentions = linker.drop_overlaps(mentions)
+            stage_counts["after_overlap"] += len(mentions)
+            mentions = linker.drop_blacklisted(mentions)
+            stage_counts["after_blacklist"] += len(mentions)
+            mentions = linker.drop_sentence_straddlers(mentions, document)
+            stage_counts["after_sentence"] += len(mentions)
+            mentions = linker.apply_editorial(mentions)
+            stage_counts["final"] += len(mentions)
+        return stage_counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{stage:16s}: {count}" for stage, count in counts.items()]
+    emit("E15b_sec6_tagging_stages", lines)
+    assert counts["detected"] >= counts["after_overlap"] >= counts["after_blacklist"]
+    assert counts["after_blacklist"] >= counts["final"]
+    assert counts["detected"] > counts["final"]  # every stage earns its keep
+
+
+def test_sec6_event_monitoring(benchmark):
+    events = {
+        "superbowl": ("touchdown", "quarterback", "halftime", "fieldgoal"),
+        "oscars": ("redcarpet", "bestpicture", "acceptance", "nominee"),
+    }
+    generator = TweetGenerator(events, leakage=0.35, seed=SEED)
+    tweets = generator.stream(1200)
+    monitor = EventMonitor([
+        EventSpec(name, set(keywords)) for name, keywords in events.items()
+    ])
+
+    before = {r.event: r for r in monitor.evaluate(tweets)}
+    monitor.make_conservative("superbowl", 2)
+    monitor.make_conservative("oscars", 2)
+    after = benchmark.pedantic(
+        lambda: {r.event: r for r in monitor.evaluate(tweets)},
+        rounds=1, iterations=1,
+    )
+
+    lines = [f"{'event':10s} {'P before':>9s} {'R before':>9s} {'P after':>8s} {'R after':>8s}"]
+    for event in sorted(events):
+        lines.append(
+            f"{event:10s} {before[event].precision:9.3f} {before[event].recall:9.3f}"
+            f" {after[event].precision:8.3f} {after[event].recall:8.3f}"
+        )
+    lines.append("-> conservative rules raise precision at some recall cost, "
+                 "applied live by analysts (the Tweetbeat scale-down)")
+    emit("E15c_sec6_event_monitoring", lines)
+
+    for event in events:
+        assert after[event].precision >= before[event].precision
+        assert after[event].precision >= 0.95

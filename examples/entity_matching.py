@@ -1,0 +1,62 @@
+"""Entity matching with rules (section 6): ISBN + Jaccard style EM.
+
+Generates vendor-style duplicate records from the catalog, blocks candidate
+pairs, matches them with analyst EM rules (including the paper's
+"[a.isbn = b.isbn] and [jaccard.3g(a.title, b.title) >= 0.8]" rule), and
+compares against a learned similarity-feature baseline.
+
+Run:  python examples/entity_matching.py
+"""
+
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.em import (
+    LearnedMatcher,
+    RuleBasedMatcher,
+    block_pairs,
+    blocking_recall,
+    generate_em_dataset,
+    parse_em_rule,
+)
+
+SEED = 5
+
+EM_RULES = """
+a.isbn = b.isbn & jaccard_3g(a.title, b.title) >= 0.5 -> match
+jaccard(a.title, b.title) >= 0.65 & a.type = b.type -> match
+jaccard_3g(a.title, b.title) >= 0.8 -> match
+lev_norm(a.title, b.title) < 0.2 -> no_match
+"""
+
+
+def main() -> None:
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+
+    dataset = generate_em_dataset(generator, n_entities=500, seed=SEED)
+    print(f"records: {len(dataset.records)}  gold matches: {len(dataset.gold_matches)}")
+
+    pairs = block_pairs(dataset.records)
+    print(f"blocking: {len(pairs)} candidate pairs "
+          f"(recall {blocking_recall(pairs, dataset.gold_matches):.1%})")
+
+    rules = [parse_em_rule(line) for line in EM_RULES.strip().splitlines()]
+    for rule in rules:
+        print(f"  {rule.describe()}")
+    rule_report = RuleBasedMatcher(rules).evaluate(pairs, dataset)
+    print(f"\nrule-based matcher : P={rule_report.precision:.3f} "
+          f"R={rule_report.recall:.3f} F1={rule_report.f1:.3f}")
+
+    train = generate_em_dataset(generator, n_entities=300, seed=SEED + 1)
+    train_pairs = block_pairs(train.records)
+    labels = [train.is_match(a, b) for a, b in train_pairs]
+    learned = LearnedMatcher().fit(train_pairs, labels)
+    learned_report = learned.evaluate(pairs, dataset)
+    print(f"learned matcher    : P={learned_report.precision:.3f} "
+          f"R={learned_report.recall:.3f} F1={learned_report.f1:.3f}")
+
+    print("\nwhy industry keeps the rules: the ISBN rule is explainable, "
+          "editable by analysts, and its mistakes are traceable to one line.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Incident response: detect → scale down → repair → restore (section 2.2).
+
+A new vendor starts describing jeans with alien vocabulary ("dungarees"),
+Chimera's precision for the clothing department degrades, the monitor
+flags it, the operator scales the affected types down (rules disabled,
+learning suppressed), analysts patch with new rules, and the system is
+restored — precision recovers, and the recall dip closes.
+
+Run:  python examples/incident_response.py
+"""
+
+from repro.analyst import SimulatedAnalyst
+from repro.catalog import BatchStream, CatalogGenerator, DriftInjector, build_seed_taxonomy
+from repro.catalog.batches import VendorProfile
+from repro.chimera import Chimera, IncidentManager, PrecisionMonitor
+from repro.utils.clock import SimClock
+
+SEED = 13
+FLOOR = 0.92
+
+
+def batch_metrics(chimera, items):
+    result = chimera.classify_batch(items)
+    return result, result.true_precision(), result.coverage
+
+
+def main() -> None:
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+    clock = SimClock()
+    analyst = SimulatedAnalyst(taxonomy, clock=clock, seed=SEED)
+
+    chimera = Chimera.build(seed=SEED)
+    chimera.add_training(generator.generate_labeled(3000))
+    chimera.retrain(min_examples_per_type=5)
+    for type_name in ("jeans", "shorts", "work pants"):
+        chimera.add_whitelist_rules(analyst.obvious_rules(type_name))
+
+    monitor = PrecisionMonitor(floor=FLOOR, window=4)
+    incidents = IncidentManager(chimera)
+    stream = BatchStream(generator, clock=clock, seed=SEED, vendors=[
+        VendorProfile(name="vendor-normal", min_batch=150, max_batch=250),
+    ])
+
+    print("phase 1: normal operation")
+    for _ in range(3):
+        batch = stream.next_batch()
+        result, precision, coverage = batch_metrics(chimera, batch.items)
+        monitor.record(batch.batch_id, clock.now, precision, coverage, len(batch))
+        print(f"  {batch.batch_id}: precision={precision:.2f} coverage={coverage:.2f}")
+
+    print("\nphase 2: drift — a vendor describes jeans with alien vocabulary")
+    drift = DriftInjector(generator, seed=SEED)
+    drift.shift_head_vocabulary("jeans", ["dungaree", "boys short"])
+    drift.replace_slot("jeans", "fabric", ["serge", "selvedge", "twill"])
+    drift.replace_slot("jeans", "fit", ["comfort cut", "tapered", "classic mesh"])
+    drift.shift_distribution({"jeans": 15.0})  # and they flood the stream
+    degraded_batches = []
+    for _ in range(2):
+        batch = stream.next_batch()
+        result, precision, coverage = batch_metrics(chimera, batch.items)
+        monitor.record(
+            batch.batch_id, clock.now, precision, coverage, len(batch),
+            errors_by_type={
+                label: sum(1 for item, lab in result.classified_pairs
+                           if lab == label and item.true_type != lab)
+                for label in {lab for _, lab in result.classified_pairs}
+            },
+        )
+        degraded_batches.append(batch)
+        print(f"  {batch.batch_id}: precision={precision:.2f} coverage={coverage:.2f} "
+              f"degraded={monitor.degraded()}")
+
+    print(f"\nphase 3: scale down (suspect types: {monitor.suspect_types(2)})")
+    suspect = [name for name, _ in monitor.suspect_types(2)] or ["jeans"]
+    incident = incidents.open_incident(suspect, at=clock.now)
+    incidents.scale_down(incident)
+    batch = stream.next_batch()
+    result, precision, coverage = batch_metrics(chimera, batch.items)
+    print(f"  {batch.batch_id}: precision={precision:.2f} coverage={coverage:.2f} "
+          f"(recall sacrificed to stop bad predictions)")
+
+    print("\nphase 4: repair — analysts patch from sampled errors")
+    error_samples = [
+        (item, label)
+        for degraded in degraded_batches
+        for item, label in chimera.classify_batch(degraded.items).classified_pairs
+        if item.true_type != label
+    ][:40]
+    added = incidents.repair(incident, analyst, error_samples)
+    print(f"  rules added: {added}")
+
+    print("\nphase 5: restore")
+    incidents.restore(incident)
+    for _ in range(2):
+        batch = stream.next_batch()
+        result, precision, coverage = batch_metrics(chimera, batch.items)
+        print(f"  {batch.batch_id}: precision={precision:.2f} coverage={coverage:.2f}")
+    print(f"\nincident log: {incident.status}, notes: {incident.notes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Rule-based IE (section 6): brands, weights, colors, volumes.
+
+Dictionary + context-pattern brand extraction with normalization, regex
+extractors for physical attributes, and a learned token-tagger baseline —
+the "67% of commercial IE systems use rules exclusively" story in code.
+
+Run:  python examples/information_extraction.py
+"""
+
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.ie import (
+    DictionaryExtractor,
+    IEPipeline,
+    NormalizationRules,
+    PerceptronTagger,
+    color_extractor,
+    volume_extractor,
+    weight_extractor,
+)
+from repro.utils.text import normalize_text
+
+SEED = 9
+
+
+def main() -> None:
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+    brands = set()
+    for product_type in taxonomy:
+        brands.update(product_type.brands)
+
+    normalizer = NormalizationRules({
+        "hp": "hp", "hewlett packard": "hp", "mobil 1": "mobil",
+    })
+    pipeline = IEPipeline(
+        [
+            DictionaryExtractor("brand", brands, max_edits=1,
+                                context_markers=("brand", "by")),
+            weight_extractor(),
+            color_extractor(),
+            volume_extractor(),
+        ],
+        normalizer,
+    )
+
+    items = generator.generate_items(600)
+    report = pipeline.evaluate(items)
+    print("rule-based IE pipeline:")
+    for attribute, (precision, recall, support) in report.per_attribute.items():
+        print(f"  {attribute:8s} P={precision:.2f} R={recall:.2f} (n={support})")
+
+    sample = items[0]
+    print(f"\nexample item: {sample.title!r}")
+    for extraction in pipeline.extract_all(sample):
+        print(f"  {extraction.attribute:8s} = {extraction.value!r:20s} via {extraction.extractor}")
+
+    # Learned baseline: perceptron token tagger for brand tokens.
+    train_items = generator.generate_items(800)
+    sentences, labels = [], []
+    for item in train_items:
+        tokens = normalize_text(f"{item.title}. {item.description}").split()
+        brand = (item.attribute("brand_name") or "").lower()
+        flags = [token.strip(".") == brand and bool(brand) for token in tokens]
+        sentences.append(tokens)
+        labels.append(flags)
+    tagger = PerceptronTagger(epochs=3).fit(sentences, labels)
+
+    correct = total = 0
+    for item in items:
+        truth = item.attribute("brand_name")
+        if truth is None:
+            continue
+        total += 1
+        spans = tagger.extract_spans(f"{item.title}. {item.description}")
+        if any(span.strip(".") == truth.lower() for span in spans):
+            correct += 1
+    print(f"\nlearned tagger brand recall: {correct / total:.2f} (n={total}) "
+          "— competitive, but opaque; the dictionary rule is the production choice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Rule generation from labeled data (section 5.2).
+
+Mines frequent token sequences per type, keeps clean candidates, scores
+confidence, selects with Greedy-Biased, validates both confidence tiers
+with the (simulated) crowd, and measures the decline-rate reduction when
+the generated rules are added to Chimera — the paper's 18%-reduction
+experiment in miniature.
+
+Run:  python examples/rule_generation.py
+"""
+
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.chimera import Chimera
+from repro.crowd import CrowdBudget, VerificationTask, WorkerPool
+from repro.evaluation import ruleset_quality
+from repro.rulegen import RuleGenerator
+
+SEED = 31
+
+
+def crowd_precision(rules, items, seed=0):
+    """Estimate a rule set's precision the way the paper does: crowd-verify
+    a sample of the (item, predicted type) pairs the rules produce."""
+    pool = WorkerPool(seed=seed)
+    task = VerificationTask(pool, budget=CrowdBudget(50_000), seed=seed)
+    pairs = [
+        (item, rule.target_type)
+        for item in items
+        for rule in rules
+        if rule.matches(item)
+    ]
+    if not pairs:
+        return float("nan")
+    sample = pairs[:300]
+    approved = sum(1 for item, label in sample if task.verify_pair(item, label).approved)
+    return approved / len(sample)
+
+
+def main() -> None:
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+    training = generator.generate_labeled(8000)
+    print(f"training data: {len(training)} labeled titles, "
+          f"{len({t.label for t in training})} types")
+
+    result = RuleGenerator(min_support=0.02, q=200, alpha=0.7).generate(training)
+    print(f"mined sequences (len 2-4): {result.n_mined}")
+    print(f"clean candidates         : {result.n_clean}")
+    print(f"selected                 : {result.n_selected} "
+          f"(high={len(result.high_confidence)}, low={len(result.low_confidence)})")
+
+    test_items = generator.generate_items(4000)
+    high_est = crowd_precision(result.high_confidence, test_items, seed=1)
+    low_est = crowd_precision(result.low_confidence, test_items, seed=2)
+    print(f"crowd-estimated precision: high={high_est:.1%}  low={low_est:.1%}")
+    print(f"ground-truth precision   : "
+          f"high={ruleset_quality(result.high_confidence, test_items).precision:.1%}  "
+          f"low={ruleset_quality(result.low_confidence, test_items).precision:.1%}")
+
+    # Decline-rate reduction: Chimera without vs with the generated rules.
+    base = Chimera.build(seed=SEED)
+    base.add_training(generator.generate_labeled(1500))
+    base.retrain(min_examples_per_type=8)
+    batch = generator.generate_items(1200)
+    before = base.classify_batch(batch)
+    base.add_whitelist_rules(result.rules)
+    after = base.classify_batch(batch)
+    declined_before = len(before.declined)
+    declined_after = len(after.declined)
+    reduction = 1 - declined_after / declined_before if declined_before else 0.0
+    print(f"\ndeclined items: {declined_before} -> {declined_after} "
+          f"({reduction:.0%} reduction; paper reports 18%)")
+    print(f"precision stays: {before.true_precision():.1%} -> {after.true_precision():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Rule maintenance walkthrough (section 4).
+
+A rule base accumulated over time gets audited: subsumed rules pruned,
+overlapping rules surfaced, stale rules flagged after drift, a taxonomy
+split migrated, and the consolidation/debuggability trade-off measured.
+
+Run:  python examples/rule_maintenance.py
+"""
+
+from repro.catalog import CatalogGenerator, DriftInjector, build_seed_taxonomy
+from repro.catalog.types import ProductItem
+from repro.core import WhitelistRule
+from repro.maintenance import (
+    StalenessMonitor,
+    consolidate_rules,
+    find_overlaps,
+    find_subsumptions,
+    localization_cost,
+    plan_for_split,
+    prune_redundant,
+    split_consolidated,
+)
+from repro.rulegen import RuleGenerator
+
+SEED = 17
+
+
+def main() -> None:
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=SEED)
+
+    # A rule base: generated rules plus hand-written ones added over time.
+    training = generator.generate_labeled(5000)
+    rules = RuleGenerator(min_support=0.03, q=40).generate(training).rules
+    rules += [
+        WhitelistRule("jeans?", "jeans"),
+        WhitelistRule("denim.*jeans?", "jeans"),          # subsumed by above
+        WhitelistRule("abrasive.*(wheels?|discs?)", "abrasive wheels & discs"),
+    ]
+    items = generator.generate_items(2000)
+    print(f"rule base: {len(rules)} rules\n")
+
+    print("1) subsumption (the paper's denim.*jeans? example)")
+    pairs = find_subsumptions(rules, items)
+    for pair in pairs[:5]:
+        print(f"   {pair.redundant_id} is redundant under {pair.general_id} "
+              f"({pair.evidence})")
+    pruned = prune_redundant(rules, pairs)
+    print(f"   pruned {len(rules) - len(pruned)} redundant rules\n")
+
+    print("2) significant overlaps (consolidation candidates)")
+    for overlap in find_overlaps(rules, items, threshold=0.5)[:5]:
+        print(f"   {overlap.rule_a} ~ {overlap.rule_b} "
+              f"(jaccard {overlap.jaccard:.2f}, {overlap.shared} shared items)")
+    print()
+
+    print("3) staleness after drift")
+    jeans_rule = WhitelistRule("jeans?", "jeans")
+    monitor = StalenessMonitor(window_batches=8, precision_floor=0.9)
+    for _ in range(3):
+        monitor.observe_batch([jeans_rule], generator.generate_items(300))
+    DriftInjector(generator, seed=SEED).shift_head_vocabulary("jeans", ["dungaree"])
+    for _ in range(5):
+        monitor.observe_batch([jeans_rule], generator.generate_items(300))
+    for health in monitor.inapplicable_rules(idle_batches=5):
+        print(f"   {health.rule_id}: no matches for "
+              f"{health.batches_since_last_hit} batches -> retire or rewrite")
+    print()
+
+    print("4) taxonomy split ('pants' -> 'work pants' + 'jeans' style)")
+    pants_rules = [WhitelistRule("work pants?", "work pants"),
+                   WhitelistRule("cargo.*pants?", "work pants")]
+    drift2 = DriftInjector(CatalogGenerator(build_seed_taxonomy(), seed=SEED + 1),
+                           seed=SEED + 1)
+    _, replacements = drift2.split_type("work pants", {
+        "utility pants": ["cargo", "utility", "canvas"],
+        "safety pants": ["flame resistant", "tactical"],
+    })
+    sample = drift2.generator.generate_items(2500)
+    plan = plan_for_split(pants_rules, "work pants",
+                          [r.name for r in replacements], sample)
+    print(f"   invalidated: {plan.invalidated}")
+    print(f"   retargets  : {plan.retargets}")
+    print(f"   undecidable: {plan.undecidable} (analyst must rewrite)\n")
+
+    print("5) consolidation vs debuggability")
+    simple = [WhitelistRule(f"style{i} rings?", "rings") for i in range(7)]
+    simple.append(WhitelistRule("wedding bands?", "rings"))
+    consolidated = consolidate_rules(simple)
+    bad = ProductItem(item_id="x", title="wedding band for watches")
+    print(f"   consolidated {len(simple)} rules into 1 "
+          f"({consolidated.n_branches} branches)")
+    print(f"   error-localization cost on a misclassified item: "
+          f"{localization_cost(consolidated, bad)} probe evaluations "
+          f"(a simple rule costs 1)")
+    print(f"   split back: {len(split_consolidated(consolidated))} simple rules")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — rule management for semantics-intensive Big Data systems.
+
+A full reproduction of "Why Big Data Industrial Systems Need Rules and What
+We Can Do About It" (SIGMOD 2015): the Chimera-style classification
+pipeline with its rule modules and feedback loop, the section 5.1 synonym-
+discovery tool, the section 5.2 rule-generation pipeline, the section 4
+rule-management subsystems (language, properties, evaluation, execution,
+maintenance), and the section 6 substrates (IE, EM, KB construction, entity
+tagging, event monitoring) — all on a synthetic product catalog with
+simulated analysts and crowdsourcing.
+
+Quickstart::
+
+    from repro.catalog import build_seed_taxonomy, CatalogGenerator
+    from repro.core import parse_rules, RuleSet
+
+    taxonomy = build_seed_taxonomy()
+    generator = CatalogGenerator(taxonomy, seed=0)
+    rules = RuleSet(parse_rules("rings? -> rings\\nkey rings? -> NOT rings"))
+    item = generator.generate_item("rings")
+    print(rules.apply(item).best())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyst",
+    "catalog",
+    "chimera",
+    "cli",
+    "clustering",
+    "core",
+    "crowd",
+    "em",
+    "evaluation",
+    "execution",
+    "ie",
+    "kb",
+    "learning",
+    "maintenance",
+    "rulegen",
+    "search",
+    "synonym",
+    "tagging",
+    "utils",
+]

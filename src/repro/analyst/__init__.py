@@ -1,0 +1,15 @@
+"""Simulated domain analysts.
+
+The paper's analysts "can be trained to understand the domain, detect
+patterns, perform semantics-intensive QA tasks ..., and write rules"
+(section 2.2), at a throughput of "30-50 relatively simple rules per day"
+(section 3.3). :class:`~repro.analyst.analyst.SimulatedAnalyst` is the
+behavioural stand-in: it has (noisy) domain knowledge — access to the
+catalog's type vocabularies and ground truth — plus calibrated error rates
+and a daily rule-writing budget, so every human-in-the-loop code path in
+the library actually runs.
+"""
+
+from repro.analyst.analyst import AnalystStats, SimulatedAnalyst, head_pattern
+
+__all__ = ["AnalystStats", "SimulatedAnalyst", "head_pattern"]

@@ -1,0 +1,268 @@
+"""The simulated domain analyst."""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.generator import LabeledTitle, pluralize
+from repro.catalog.types import ProductItem, ProductType, Taxonomy
+from repro.core.rule import BlacklistRule, Rule, WhitelistRule
+from repro.utils.clock import SimClock
+from repro.utils.text import tokenize
+
+
+def head_pattern(head: str) -> str:
+    """Render a head-noun phrase as a whitelist regex.
+
+    The final word is made plural-tolerant, matching how the paper's
+    analysts write rules (``rings?``, ``diamond.*trio sets?``).
+
+    >>> head_pattern("laptop bag")
+    'laptop\\\\ bags?'
+    >>> head_pattern("sunglasses")
+    'sunglasses'
+    """
+    words = head.split()
+    escaped = [re.escape(word) for word in words]
+    if not escaped[-1].endswith("s"):
+        escaped[-1] += "s?"
+    return r"\ ".join(escaped)
+
+
+@dataclass
+class AnalystStats:
+    """Workload accounting for one analyst."""
+
+    rules_written: int = 0
+    pairs_verified: int = 0
+    candidates_reviewed: int = 0
+    items_labeled: int = 0
+    days_spent_writing: float = 0.0
+
+
+class SimulatedAnalyst:
+    """A domain analyst with noisy domain knowledge and finite throughput.
+
+    The analyst *may* consult item ground truth and the taxonomy's
+    vocabularies (that is what "understanding the domain" means in the
+    simulation), but every judgement passes through an error channel, and
+    every written rule advances the shared clock by ``1 / rules_per_day``
+    days.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        clock: Optional[SimClock] = None,
+        name: str = "analyst-01",
+        verification_accuracy: float = 0.97,
+        labeling_accuracy: float = 0.98,
+        synonym_judgement_accuracy: float = 0.97,
+        rules_per_day: int = 40,
+        seed: int = 0,
+    ):
+        for value, label in (
+            (verification_accuracy, "verification_accuracy"),
+            (labeling_accuracy, "labeling_accuracy"),
+            (synonym_judgement_accuracy, "synonym_judgement_accuracy"),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {value}")
+        if rules_per_day < 1:
+            raise ValueError(f"rules_per_day must be >= 1, got {rules_per_day}")
+        self.taxonomy = taxonomy
+        self.clock = clock if clock is not None else SimClock()
+        self.name = name
+        self.verification_accuracy = verification_accuracy
+        self.labeling_accuracy = labeling_accuracy
+        self.synonym_judgement_accuracy = synonym_judgement_accuracy
+        self.rules_per_day = rules_per_day
+        self.rng = random.Random(seed)
+        self.stats = AnalystStats()
+
+    # -- QA judgements ---------------------------------------------------------
+
+    def verify_pair(self, item: ProductItem, predicted_type: str) -> bool:
+        """Noisy check of one (item, predicted type) pair."""
+        self.stats.pairs_verified += 1
+        truth = item.true_type == predicted_type
+        if self.rng.random() < self.verification_accuracy:
+            return truth
+        return not truth
+
+    def judge_synonym(self, type_name: str, slot: Optional[str], candidate: str) -> bool:
+        """Noisy membership test of a synonym candidate in a slot family.
+
+        This is the "analyst provides feedback on which candidates are
+        correct" step of the section 5.1 tool loop. ``slot=None`` accepts a
+        member of *any* of the type's modifier families (Table 1's "shorts"
+        row: the analysts accepted style words while expanding an audience
+        disjunction).
+        """
+        self.stats.candidates_reviewed += 1
+        if slot is None:
+            family = set(self.taxonomy.get(type_name).all_modifiers())
+        else:
+            family = set(self.taxonomy.get(type_name).slot(slot))
+        truth = candidate in family
+        if self.rng.random() < self.synonym_judgement_accuracy:
+            return truth
+        return not truth
+
+    def confirm_dictionary_entry(self, attribute: str, phrase: str) -> bool:
+        """Noisy check of a candidate IE-dictionary entry (section 5.3).
+
+        Domain knowledge for ``brand`` entries is the catalog's brand
+        vocabulary; other attributes fall back to rejecting (the analyst
+        does not recognize the phrase).
+        """
+        self.stats.candidates_reviewed += 1
+        if attribute == "brand":
+            known: Set[str] = set()
+            for product_type in self.taxonomy:
+                known.update(product_type.brands)
+            truth = phrase.lower() in known
+        else:
+            truth = False
+        if self.rng.random() < self.synonym_judgement_accuracy:
+            return truth
+        return not truth
+
+    def label_items(self, items: Sequence[ProductItem]) -> List[LabeledTitle]:
+        """Manually label items (with occasional mistakes)."""
+        type_names = self.taxonomy.type_names
+        labeled: List[LabeledTitle] = []
+        for item in items:
+            self.stats.items_labeled += 1
+            if self.rng.random() < self.labeling_accuracy or len(type_names) < 2:
+                label = item.true_type
+            else:
+                wrong = [name for name in type_names if name != item.true_type]
+                label = self.rng.choice(wrong)
+            labeled.append(LabeledTitle(title=item.title, label=label))
+        return labeled
+
+    # -- rule writing ------------------------------------------------------------
+
+    def _spend_writing(self, rule_count: int) -> None:
+        days = rule_count / self.rules_per_day
+        self.clock.advance(days=days)
+        self.stats.rules_written += rule_count
+        self.stats.days_spent_writing += days
+
+    def obvious_rules(self, type_name: str) -> List[Rule]:
+        """Whitelist rules for a type's head nouns ("the obvious cases").
+
+        E.g. for "area rugs" the analyst writes ``area rugs? -> area rugs``
+        and ``rugs? -> area rugs``.
+        """
+        product_type = self.taxonomy.get(type_name)
+        rules: List[Rule] = [
+            WhitelistRule(
+                head_pattern(head),
+                type_name,
+                author=self.name,
+                created_at=self.clock.now,
+                provenance="analyst-obvious",
+            )
+            for head in product_type.heads
+        ]
+        self._spend_writing(len(rules))
+        return rules
+
+    def patch_rules_for_errors(
+        self, errors: Sequence[Tuple[ProductItem, str]]
+    ) -> Tuple[List[Rule], List[Rule]]:
+        """Turn flagged misclassifications into patch rules.
+
+        This is the "shallow behavioral modification" of section 3.2: the
+        analyst examines each flagged (item, wrong type) pair, detects the
+        offending pattern, and writes (a) a blacklist rule that kills the
+        wrong prediction on that pattern, and (b) a whitelist rule for the
+        item's actual type if its head noun appears in the title.
+
+        Returns (whitelist_rules, blacklist_rules), deduplicated by pattern.
+        """
+        whitelists: Dict[Tuple[str, str], Rule] = {}
+        blacklists: Dict[Tuple[str, str], Rule] = {}
+        for item, wrong_type in errors:
+            pattern = self._offending_pattern(item, wrong_type)
+            if pattern is not None and (pattern, wrong_type) not in blacklists:
+                blacklists[(pattern, wrong_type)] = BlacklistRule(
+                    pattern,
+                    wrong_type,
+                    author=self.name,
+                    created_at=self.clock.now,
+                    provenance="analyst-patch",
+                )
+            true_type = item.true_type  # the analyst inspects the item
+            if true_type in self.taxonomy:
+                for head in self.taxonomy.get(true_type).heads:
+                    head_words = set(tokenize(head))
+                    if head_words and head_words <= set(tokenize(item.title)):
+                        key = (head_pattern(head), true_type)
+                        if key not in whitelists:
+                            whitelists[key] = WhitelistRule(
+                                key[0],
+                                true_type,
+                                author=self.name,
+                                created_at=self.clock.now,
+                                provenance="analyst-patch",
+                            )
+                        break
+        total = len(whitelists) + len(blacklists)
+        if total:
+            self._spend_writing(total)
+        return list(whitelists.values()), list(blacklists.values())
+
+    def _offending_pattern(self, item: ProductItem, wrong_type: str) -> Optional[str]:
+        """The phrase that likely triggered the wrong prediction.
+
+        Finds a title token matching one of the wrong type's head words and
+        widens it to a bigram, e.g. 'key rings' out of a keychain title that
+        was predicted "rings".
+        """
+        if wrong_type not in self.taxonomy:
+            return None
+        head_words: Set[str] = set()
+        for head in self.taxonomy.get(wrong_type).heads:
+            for word in tokenize(head):
+                head_words.add(word)
+                head_words.add(pluralize(word))
+        tokens = tokenize(item.title, drop_stopwords=False)
+        for index, token in enumerate(tokens):
+            if token in head_words:
+                if index > 0:
+                    phrase = [tokens[index - 1], token]
+                elif index + 1 < len(tokens):
+                    phrase = [token, tokens[index + 1]]
+                else:
+                    phrase = [token]
+                escaped = [re.escape(word) for word in phrase]
+                if not escaped[-1].endswith("s"):
+                    escaped[-1] += "s?"
+                return r"\ ".join(escaped)
+        return None
+
+    def bootstrap_training_data(
+        self, items: Sequence[ProductItem], type_name: str
+    ) -> List[LabeledTitle]:
+        """Create training data for a type via a quick rule + curation.
+
+        Section 3.2 ("The Obvious Cases"): write a rule, apply it, then
+        manually curate the matches. Curation removes items the analyst
+        (noisily) judges mislabeled.
+        """
+        product_type = self.taxonomy.get(type_name)
+        rule = WhitelistRule(
+            head_pattern(product_type.heads[0]), type_name, author=self.name
+        )
+        self._spend_writing(1)
+        curated: List[LabeledTitle] = []
+        for item in items:
+            if rule.matches(item) and self.verify_pair(item, type_name):
+                curated.append(LabeledTitle(title=item.title, label=type_name))
+        return curated

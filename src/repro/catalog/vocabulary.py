@@ -1,0 +1,583 @@
+"""Hand-authored seed taxonomy plus procedural type synthesis.
+
+The seed types reproduce the lexical situations the paper describes:
+
+* the four Table 1 showcase types (area rugs, athletic gloves, shorts,
+  abrasive wheels & discs) with exactly the synonym families the tool found;
+* "motor oil" with the 13-term vehicle disjunction of rule R2 (section 5.1);
+* trap pairs that force blacklist rules — "key ring" (keychains) vs "rings",
+  "oil filter" vs "motor oil", "laptop bag" vs "laptop computers",
+  "rubber band"/"hair band"/"watch band" vs "rings" ("wedding band" IS a
+  ring, per the introduction's example rule);
+* attribute-signal types — "books" have an ISBN (the paper's "obvious case"
+  rule), electronics have brands constrained by the brand knowledge base;
+* tail types ("holiday decorations") with tiny weights, for the
+  head-vs-tail rule evaluation problem of section 4;
+* "handbags" whose items are named satchel/purse/tote/... — the paper's
+  example of a type for which representative training data is hard;
+* "computer cables" whose vocabulary later drifts (new cable kinds appear).
+
+:func:`synthesize_types` then scales the taxonomy to hundreds or thousands
+of types with a Zipf-like weight distribution, sharing modifiers across
+types so synthetic types are also mutually ambiguous.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.catalog.types import ProductType, Taxonomy
+
+# ---------------------------------------------------------------------------
+# Global pools used by the title generator.
+# ---------------------------------------------------------------------------
+
+COLORS: Tuple[str, ...] = (
+    "black", "white", "red", "blue", "navy", "green", "gray", "brown",
+    "ivory", "beige", "pink", "purple", "teal", "burgundy", "charcoal",
+)
+
+MARKETING: Tuple[str, ...] = (
+    "value bundle", "2 pack", "3 pack", "new", "premium", "classic",
+    "deluxe", "heavy duty", "lightweight", "portable", "pro series",
+)
+
+SIZES: Tuple[str, ...] = (
+    "small", "medium", "large", "xl", "38x30", "5x7", "8x10", "10kt",
+    "size 7", "size 9", "one size", "15.6 inch", "14 inch",
+)
+
+GENERIC_BRANDS: Tuple[str, ...] = (
+    "acme", "northpeak", "homecraft", "valuline", "ridgeline", "sunvale",
+    "bluecrest", "ironwood", "clearwater", "maplewood", "stonebrook",
+)
+
+# Brand -> plausible product types; the knowledge-base substrate builds its
+# brand tables from this (section 3.2, "Other Considerations": a title
+# mentioning "Apple" restricts the type to phone/laptop/etc).
+ELECTRONICS_BRANDS: Dict[str, Tuple[str, ...]] = {
+    "apple": ("laptop computers", "smart phones", "headphones"),
+    "dell": ("laptop computers",),
+    "hp": ("laptop computers", "printers"),
+    "lenovo": ("laptop computers",),
+    "samsung": ("laptop computers", "smart phones", "televisions"),
+    "motorola": ("smart phones",),
+    "sony": ("televisions", "headphones"),
+    "lg": ("smart phones", "televisions"),
+    "canon": ("printers",),
+    "epson": ("printers",),
+    "bose": ("headphones",),
+}
+
+
+def _pt(
+    name: str,
+    department: str,
+    heads: Sequence[str],
+    slots: Dict[str, Sequence[str]] = None,
+    brands: Sequence[str] = (),
+    attribute_kinds: Dict[str, str] = None,
+    templates: Sequence[str] = None,
+    weight: float = 1.0,
+    trap_phrases: Sequence[str] = (),
+) -> ProductType:
+    """Compact ProductType constructor for the seed tables below."""
+    return ProductType(
+        name=name,
+        department=department,
+        heads=tuple(heads),
+        modifier_slots={k: tuple(v) for k, v in (slots or {}).items()},
+        brands=tuple(brands),
+        attribute_kinds=dict(attribute_kinds or {}),
+        templates=tuple(templates) if templates else ("{brand} {mod} {head} {detail}", "{mod} {head}", "{mod} {mod} {head} {detail}"),
+        weight=weight,
+        trap_phrases=tuple(trap_phrases),
+    )
+
+
+def _seed_types() -> List[ProductType]:
+    types: List[ProductType] = []
+
+    # -- Jewelry / accessories ------------------------------------------------
+    types.append(_pt(
+        "rings", "jewelry", ["ring"],
+        slots={
+            "stone": ["diamond", "sapphire", "ruby", "emerald", "pearl",
+                      "cubic zirconia", "gemstone", "crystal", "diamond accent"],
+            "style": ["wedding band", "engagement", "eternity", "semi-eternity",
+                      "promise", "anniversary", "trio set", "stackable"],
+            "metal": ["10kt white gold", "sterling silver", "platinaire",
+                      "14kt yellow gold", "rose gold", "titanium", "tungsten"],
+        },
+        templates=("{mod:stone} {mod:metal} {head} {detail}",
+                   "{mod:style} {mod:metal} {head}",
+                   "{mod:stone} accent {head} in {mod:metal}",
+                   "{mod:style} {head} {detail}"),
+        attribute_kinds={"metal": "metal", "ring_size": "size"},
+        weight=3.0,
+    ))
+    types.append(_pt(
+        "wristwatches", "jewelry", ["watch", "wristwatch", "chronograph watch"],
+        slots={"style": ["analog", "digital", "sport", "dress", "automatic", "quartz"]},
+        brands=["casio", "timex", "citizen", "seiko"],
+        weight=2.0,
+    ))
+    types.append(_pt(
+        "watch bands", "jewelry", ["watch band", "watch strap"],
+        slots={"material": ["leather", "silicone", "stainless steel", "nylon", "mesh"]},
+        trap_phrases=("replacement watch band for smart watch",),
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "keychains", "accessories", ["keychain", "key ring", "key chain"],
+        slots={"style": ["carabiner", "novelty", "led", "retractable", "leather"]},
+        weight=0.7,
+    ))
+    types.append(_pt(
+        "sunglasses", "accessories", ["sunglasses", "shades"],
+        slots={"style": ["polarized", "aviator", "sport", "retro", "oversized"]},
+        weight=1.5,
+    ))
+    types.append(_pt(
+        "handbags", "clothing", ["satchel", "purse", "tote", "clutch",
+                                  "hobo bag", "crossbody bag", "shoulder bag"],
+        slots={"material": ["leather", "faux leather", "canvas", "quilted", "suede"]},
+        weight=2.0,
+    ))
+
+    # -- Clothing -------------------------------------------------------------
+    types.append(_pt(
+        "shorts", "clothing", ["short"],
+        slots={
+            "style": ["denim", "knit", "cotton blend", "elastic", "loose fit",
+                      "classic mesh", "cargo", "carpenter", "basketball", "chino"],
+            "audience": ["boys", "girls", "men", "women", "toddler"],
+        },
+        templates=("{mod:audience} {mod:style} {head} {detail}",
+                   "{mod:style} {head} {detail}",
+                   "{mod:audience} {head} {detail}",
+                   "{mod:audience} {mod:style} {mod:style} {head}"),
+        attribute_kinds={"size": "size", "color": "color"},
+        weight=2.5,
+    ))
+    types.append(_pt(
+        "jeans", "clothing", ["jean"],
+        slots={
+            "fit": ["relaxed fit", "slim", "skinny", "bootcut", "straight leg",
+                    "carpenter", "regular fit", "loose fit"],
+            "fabric": ["denim", "stretch denim", "indigo", "washed denim"],
+            "audience": ["boys", "girls", "men", "women", "big men"],
+        },
+        templates=("{mod:audience} {mod:fit} {mod:fabric} {head} {detail}",
+                   "{mod:fabric} {mod:fit} {head}",
+                   "{mod:audience} {mod:fit} {head} {detail}"),
+        attribute_kinds={"size": "size"},
+        weight=2.5,
+    ))
+    types.append(_pt(
+        "work pants", "clothing", ["work pant", "pant"],
+        slots={"style": ["cargo", "utility", "flame resistant", "canvas", "duck", "tactical"]},
+        attribute_kinds={"size": "size"},
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "running shoes", "clothing", ["running shoe", "sneaker", "athletic shoe"],
+        slots={"style": ["trail", "road", "cushioned", "lightweight mesh", "stability"]},
+        brands=["asics", "brooks", "saucony"],
+        attribute_kinds={"size": "size"},
+        weight=2.0,
+    ))
+    types.append(_pt(
+        "dress shoes", "clothing", ["dress shoe", "oxford", "loafer"],
+        slots={"style": ["leather", "patent", "wingtip", "slip on", "cap toe"]},
+        attribute_kinds={"size": "size"},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "hair bands", "beauty", ["hair band", "headband", "hair tie"],
+        slots={"style": ["elastic", "no slip", "braided", "satin", "sport"]},
+        weight=0.6,
+    ))
+
+    # -- Home -----------------------------------------------------------------
+    types.append(_pt(
+        "area rugs", "home", ["area rug", "rug"],
+        slots={
+            "style": ["shaw", "oriental", "drive", "novelty", "braided", "royal",
+                      "casual", "ivory", "tufted", "contemporary", "floral",
+                      "shag", "persian", "medallion"],
+        },
+        templates=("{mod:style} {head} {detail}",
+                   "{brand} {mod:style} {head} {detail}",
+                   "{mod:style} {mod:style} {head}"),
+        attribute_kinds={"size": "size", "color": "color"},
+        weight=2.5,
+    ))
+    types.append(_pt(
+        "bath rugs", "home", ["bath rug", "bath mat"],
+        slots={"style": ["memory foam", "chenille", "non slip", "microfiber", "cotton"]},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "dining chairs", "home", ["dining chair", "side chair"],
+        slots={"style": ["upholstered", "ladder back", "parsons", "windsor", "rattan", "farmhouse"]},
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "office chairs", "home", ["office chair", "desk chair", "task chair"],
+        slots={"style": ["ergonomic", "mesh", "executive", "swivel", "high back"]},
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "table lamps", "home", ["table lamp", "desk lamp", "bedside lamp"],
+        slots={"style": ["ceramic", "led", "touch control", "industrial", "tiffany style"]},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "mattresses", "home", ["mattress"],
+        slots={"style": ["memory foam", "innerspring", "hybrid", "gel infused", "pillow top"]},
+        attribute_kinds={"size": "size"},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "bed sheets", "home", ["sheet set", "bed sheet"],
+        slots={"style": ["microfiber", "cotton", "flannel", "sateen", "bamboo"]},
+        attribute_kinds={"size": "size", "color": "color"},
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "holiday decorations", "home",
+        ["christmas tree", "ornament", "garland", "wreath", "holiday decoration"],
+        slots={"style": ["pre-lit", "artificial", "glass", "outdoor", "tabletop"]},
+        weight=0.15,  # deliberate tail type (section 4's "tail rules")
+    ))
+    types.append(_pt(
+        "coffee makers", "home", ["coffee maker", "coffee machine", "espresso machine", "percolator"],
+        slots={"style": ["12 cup", "single serve", "programmable", "drip", "french press"]},
+        brands=["cuisinart", "hamilton beach", "keurig", "mr coffee"],
+        weight=1.2,
+    ))
+
+    # -- Automotive -----------------------------------------------------------
+    types.append(_pt(
+        "motor oil", "automotive", ["oil", "lubricant"],
+        slots={
+            # Rule R2's thirteen-term disjunction, verbatim (section 5.1).
+            "vehicle": ["motor", "engine", "automotive", "auto", "car", "truck",
+                        "suv", "van", "vehicle", "motorcycle", "pick-up",
+                        "scooter", "atv", "boat"],
+            "grade": ["synthetic", "full synthetic", "high mileage",
+                      "conventional", "5w-30", "10w-40", "sae 30"],
+        },
+        templates=("{brand} {mod:grade} {mod:vehicle} {head} {detail}",
+                   "{mod:vehicle} {head} {mod:grade} {detail}",
+                   "{brand} {mod:vehicle} {head} 5 quart"),
+        brands=["mobil", "castrol", "pennzoil", "valvoline", "quaker state"],
+        attribute_kinds={"volume": "volume"},
+        weight=1.5,
+    ))
+    types.append(_pt(
+        "oil filters", "automotive", ["oil filter"],
+        slots={"style": ["spin-on", "cartridge", "high efficiency", "premium"]},
+        brands=["fram", "bosch", "purolator"],
+        trap_phrases=("engine oil filter for car truck suv",),
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "motorcycle helmets", "automotive", ["motorcycle helmet", "helmet"],
+        slots={"style": ["full face", "modular", "open face", "dual sport", "dot approved"]},
+        weight=0.7,
+    ))
+    types.append(_pt(
+        "car seats", "baby", ["car seat", "booster seat", "convertible car seat"],
+        slots={"style": ["infant", "rear facing", "all-in-one", "high back", "backless"]},
+        brands=["graco", "evenflo", "chicco"],
+        weight=1.0,
+    ))
+
+    # -- Electronics ----------------------------------------------------------
+    types.append(_pt(
+        "laptop computers", "electronics", ["laptop", "notebook", "laptop computer"],
+        slots={"spec": ["14 inch", "15.6 inch", "touchscreen", "gaming",
+                        "ultrabook", "2-in-1", "business"]},
+        brands=["apple", "dell", "hp", "lenovo", "samsung"],
+        attribute_kinds={"brand_name": "brand", "screen_size": "size"},
+        weight=2.0,
+    ))
+    types.append(_pt(
+        "laptop bags & cases", "electronics",
+        ["laptop bag", "laptop case", "laptop sleeve", "notebook case"],
+        slots={"style": ["neoprene", "leather", "padded", "messenger", "rolling", "hard shell"]},
+        attribute_kinds={"fits_screen": "size"},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "smart phones", "electronics", ["smartphone", "phone", "cell phone"],
+        slots={"spec": ["unlocked", "64gb", "128gb", "5g", "dual sim", "refurbished"]},
+        brands=["apple", "samsung", "motorola", "lg"],
+        attribute_kinds={"brand_name": "brand", "storage": "capacity"},
+        weight=2.0,
+    ))
+    types.append(_pt(
+        "phone cases", "electronics", ["phone case", "phone cover"],
+        slots={"style": ["clear", "shockproof", "wallet", "rugged", "slim"]},
+        trap_phrases=("case for apple smartphone",),
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "computer cables", "electronics", ["cable", "cord"],
+        slots={
+            # Vocabulary that the drift injector later extends (section 2.2's
+            # example of the "computer cables" concept drifting).
+            "kind": ["usb", "hdmi", "ethernet", "networking", "motherboard",
+                     "mouse", "monitor", "vga", "dvi", "displayport", "power"],
+            "length": ["3ft", "6ft", "10ft", "25ft", "braided"],
+        },
+        templates=("{mod:kind} {head} {mod:length}",
+                   "{brand} {mod:kind} {head} {detail}",
+                   "{mod:kind} {mod:kind} adapter {head}"),
+        weight=1.5,
+    ))
+    types.append(_pt(
+        "televisions", "electronics", ["tv", "television", "led tv", "smart tv"],
+        slots={"spec": ["4k", "1080p", "55 inch", "65 inch", "hdr", "qled"]},
+        brands=["samsung", "sony", "lg"],
+        attribute_kinds={"brand_name": "brand", "screen_size": "size"},
+        weight=1.5,
+    ))
+    types.append(_pt(
+        "tv mounts", "electronics", ["tv mount", "wall mount", "tv bracket"],
+        slots={"style": ["full motion", "tilting", "fixed", "articulating"]},
+        trap_phrases=("wall mount for 55 inch tv",),
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "headphones", "electronics", ["headphones", "earbuds", "headset"],
+        slots={"style": ["wireless", "noise cancelling", "over ear", "bluetooth", "in ear", "gaming"]},
+        brands=["sony", "bose", "apple"],
+        attribute_kinds={"brand_name": "brand"},
+        weight=1.8,
+    ))
+    types.append(_pt(
+        "printers", "electronics", ["printer", "inkjet printer", "laser printer", "all-in-one printer"],
+        slots={"spec": ["wireless", "color", "monochrome", "duplex", "photo"]},
+        brands=["hp", "canon", "epson"],
+        attribute_kinds={"brand_name": "brand"},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "printer ink", "office", ["ink cartridge", "toner cartridge"],
+        slots={"style": ["black", "tri-color", "high yield", "remanufactured", "combo pack"]},
+        trap_phrases=("ink cartridge for hp printer", "toner for laser printer"),
+        weight=1.0,
+    ))
+
+    # -- Sports / tools -------------------------------------------------------
+    types.append(_pt(
+        "athletic gloves", "sports", ["glove"],
+        slots={
+            "sport": ["athletic", "impact", "football", "training", "boxing",
+                      "golf", "workout", "batting", "weightlifting", "cycling",
+                      "racquetball"],
+        },
+        templates=("{mod:sport} {head} {detail}",
+                   "{brand} {mod:sport} {head}",
+                   "{mod:sport} {mod:sport} {head} {detail}"),
+        attribute_kinds={"size": "size"},
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "abrasive wheels & discs", "tools", ["wheel", "disc"],
+        slots={
+            "kind": ["abrasive", "flap", "grinding", "fiber", "sanding",
+                     "zirconia fiber", "cutter", "knot", "twisted knot",
+                     "cutoff", "abrasive grinding"],
+            "grit": ["40 grit", "60 grit", "80 grit", "120 grit", "4-1/2 inch"],
+        },
+        templates=("{mod:kind} {head} {mod:grit}",
+                   "{mod:kind} {mod:kind} {head} {detail}",
+                   "{brand} {mod:kind} {head} {mod:grit}"),
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "power drills", "tools", ["drill", "drill driver", "hammer drill"],
+        slots={"spec": ["cordless", "20v", "brushless", "corded", "compact"]},
+        brands=["dewalt", "makita", "ryobi", "bosch"],
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "drill bits", "tools", ["drill bit", "bit set"],
+        slots={"style": ["titanium", "cobalt", "masonry", "spade", "twist"]},
+        trap_phrases=("drill bit set for cordless drill",),
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "garden hoses", "garden", ["garden hose", "hose"],
+        slots={"style": ["expandable", "soaker", "coiled", "heavy duty", "kink free"]},
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "bird feeders", "garden", ["bird feeder", "hummingbird feeder"],
+        slots={"style": ["hanging", "squirrel proof", "window", "platform", "tube"]},
+        weight=0.5,
+    ))
+
+    # -- Grocery / media / misc ----------------------------------------------
+    types.append(_pt(
+        "cooking oils", "grocery", ["oil", "cooking oil"],
+        slots={
+            "kind": ["olive", "canola", "vegetable", "coconut", "sunflower",
+                     "avocado", "peanut", "sesame", "extra virgin olive"],
+            "grade": ["cold pressed", "organic", "refined", "unrefined"],
+        },
+        templates=("{brand} {mod:kind} {head} {detail}",
+                   "{mod:grade} {mod:kind} {head} 500ml",
+                   "{mod:kind} {head} for cooking"),
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "coffee", "grocery", ["coffee", "ground coffee", "coffee beans", "k-cup pods"],
+        slots={"roast": ["dark roast", "medium roast", "light roast", "espresso roast", "decaf"]},
+        brands=["folgers", "maxwell house", "starbucks"],
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "books", "media", ["book", "paperback", "hardcover", "novel"],
+        slots={"genre": ["mystery", "romance", "fantasy", "science fiction",
+                         "history", "biography", "children's", "self help"]},
+        attribute_kinds={"isbn": "isbn", "pages": "count", "author": "person"},
+        templates=("{mod:genre} {head} {detail}", "{mod:genre} {mod:genre} {head}"),
+        weight=2.0,
+    ))
+    types.append(_pt(
+        "board games", "toys", ["board game", "card game", "strategy game"],
+        slots={"style": ["family", "party", "cooperative", "classic", "travel"]},
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "action figures", "toys", ["action figure", "figurine", "collectible figure"],
+        slots={"style": ["6 inch", "poseable", "limited edition", "vintage", "deluxe"]},
+        weight=0.8,
+    ))
+    types.append(_pt(
+        "dog food", "pets", ["dog food", "kibble"],
+        slots={"style": ["dry", "wet", "grain free", "puppy", "senior", "large breed"]},
+        brands=["purina", "pedigree", "iams"],
+        attribute_kinds={"weight": "weight"},
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "cat food", "pets", ["cat food"],
+        slots={"style": ["dry", "wet", "grain free", "kitten", "indoor", "pate"]},
+        brands=["purina", "friskies", "meow mix"],
+        attribute_kinds={"weight": "weight"},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "vitamins", "health", ["vitamin", "multivitamin", "supplement"],
+        slots={"kind": ["vitamin c", "vitamin d3", "b12", "prenatal", "omega 3", "zinc"]},
+        attribute_kinds={"count": "count"},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "shampoo", "beauty", ["shampoo"],
+        slots={"style": ["moisturizing", "anti dandruff", "volumizing", "sulfate free", "2-in-1"]},
+        attribute_kinds={"volume": "volume"},
+        weight=1.0,
+    ))
+    types.append(_pt(
+        "rubber bands", "office", ["rubber band"],
+        slots={"style": ["assorted", "heavy duty", "latex free", "colored"]},
+        weight=0.4,
+    ))
+    types.append(_pt(
+        "backpacks", "clothing", ["backpack", "book bag", "daypack"],
+        slots={"style": ["hiking", "school", "laptop compartment", "rolling", "tactical"]},
+        weight=1.2,
+    ))
+    types.append(_pt(
+        "baby strollers", "baby", ["stroller", "jogging stroller", "travel system"],
+        slots={"style": ["lightweight", "double", "umbrella", "all terrain"]},
+        brands=["graco", "chicco", "baby trend"],
+        weight=0.8,
+    ))
+
+    return types
+
+
+def build_seed_taxonomy() -> Taxonomy:
+    """Build the ~50-type hand-authored taxonomy described above."""
+    return Taxonomy(_seed_types())
+
+
+# ---------------------------------------------------------------------------
+# Procedural synthesis, for scaling the taxonomy to paper-like type counts.
+# ---------------------------------------------------------------------------
+
+_SYNTH_NOUNS = (
+    "widget", "bracket", "fitting", "module", "panel", "valve", "gasket",
+    "spindle", "coupler", "grommet", "flange", "bushing", "washer", "lever",
+    "socket", "clamp", "hinge", "pulley", "bearing", "nozzle", "crate",
+    "canister", "tray", "rack", "bin", "caddy", "organizer", "holder",
+    "stand", "frame", "cover", "liner", "pad", "strip", "sleeve", "guard",
+)
+
+_SYNTH_QUALIFIERS = (
+    "alpha", "beta", "gamma", "delta", "omega", "turbo", "ultra", "micro",
+    "macro", "quantum", "solar", "lunar", "arctic", "desert", "coastal",
+    "urban", "rustic", "modern", "vintage", "industrial", "compact",
+    "standard", "elite", "basic", "advanced", "hybrid", "dual", "triple",
+)
+
+_SHARED_MODIFIERS = (
+    "steel", "aluminum", "plastic", "rubber", "carbon", "chrome", "brass",
+    "copper", "nylon", "ceramic", "magnetic", "adjustable", "universal",
+    "replacement", "professional", "commercial", "residential", "outdoor",
+    "indoor", "waterproof", "insulated", "reinforced", "precision",
+    "flexible", "rigid", "sealed", "vented", "ribbed", "smooth", "coated",
+)
+
+
+def synthesize_types(
+    count: int,
+    rng: random.Random,
+    department: str = "synthetic",
+    zipf_exponent: float = 1.1,
+) -> List[ProductType]:
+    """Procedurally create ``count`` mutually distinct product types.
+
+    Head nouns are qualifier+noun compounds, so types remain mutually
+    exclusive; modifiers are drawn from a shared pool, so titles are still
+    ambiguous across types (a classifier can't key off modifiers alone).
+    Weights follow a Zipf-like law so the taxonomy has head and tail types,
+    matching the paper's observation that ~30% of types have too little
+    training data (section 3.3).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    max_types = len(_SYNTH_QUALIFIERS) * len(_SYNTH_NOUNS)
+    if count > max_types:
+        raise ValueError(f"cannot synthesize more than {max_types} types, got {count}")
+
+    pairs = [(q, n) for q in _SYNTH_QUALIFIERS for n in _SYNTH_NOUNS]
+    rng.shuffle(pairs)
+    types: List[ProductType] = []
+    for rank, (qualifier, noun) in enumerate(pairs[:count], start=1):
+        head = f"{qualifier} {noun}"
+        modifier_pool = rng.sample(_SHARED_MODIFIERS, k=rng.randint(4, 8))
+        types.append(ProductType(
+            name=f"{head}s",
+            department=department,
+            heads=(head,),
+            modifier_slots={"style": tuple(modifier_pool)},
+            brands=tuple(rng.sample(GENERIC_BRANDS, k=2)),
+            templates=("{mod} {head} {detail}", "{brand} {mod} {head}", "{mod} {mod} {head}"),
+            weight=1.0 / (rank ** zipf_exponent),
+        ))
+    return types
+
+
+def brand_knowledge() -> Dict[str, Tuple[str, ...]]:
+    """Brand -> candidate product types, for the KB substrate."""
+    return dict(ELECTRONICS_BRANDS)

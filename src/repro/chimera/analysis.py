@@ -1,0 +1,129 @@
+"""The evaluation-and-feedback loop around Chimera (section 3.3).
+
+Per batch: classify → crowd-verify a sample → if precision clears the floor,
+ship the result set; otherwise hand the flagged pairs to the analysts, who
+write patch rules and relabel pairs (new training data), then rerun the
+system on the batch. Declined items go to manual labeling, improving recall
+on future batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analyst.analyst import SimulatedAnalyst
+from repro.catalog.types import ProductItem
+from repro.chimera.pipeline import BatchResult, Chimera
+from repro.crowd.estimator import PrecisionEstimator
+
+
+@dataclass
+class BatchReport:
+    """What happened to one batch in the loop."""
+
+    batch_id: str
+    attempts: int
+    accepted: bool
+    estimated_precision: float
+    coverage: float
+    rules_added: int
+    training_added: int
+    errors_flagged: List[Tuple[str, str]] = field(default_factory=list)
+    true_precision: float = float("nan")
+    true_recall: float = float("nan")
+
+
+class FeedbackLoop:
+    """Runs batches through classify → evaluate → patch → rerun."""
+
+    def __init__(
+        self,
+        chimera: Chimera,
+        estimator: PrecisionEstimator,
+        analyst: SimulatedAnalyst,
+        precision_floor: float = 0.92,
+        max_attempts: int = 3,
+        manual_label_budget_per_batch: int = 50,
+        retrain_every: int = 400,
+    ):
+        if not 0.0 < precision_floor <= 1.0:
+            raise ValueError(f"precision_floor must be in (0, 1], got {precision_floor}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.chimera = chimera
+        self.estimator = estimator
+        self.analyst = analyst
+        self.precision_floor = precision_floor
+        self.max_attempts = max_attempts
+        self.manual_label_budget_per_batch = manual_label_budget_per_batch
+        self.retrain_every = retrain_every
+        self.reports: List[BatchReport] = []
+
+    def process_batch(
+        self, items: Sequence[ProductItem], batch_id: str = "batch"
+    ) -> BatchReport:
+        rules_added = 0
+        training_added = 0
+        flagged: List[Tuple[str, str]] = []
+        result: BatchResult = self.chimera.classify_batch(items)
+        estimate_point = 1.0
+        accepted = False
+
+        attempts = 0
+        for attempt in range(1, self.max_attempts + 1):
+            attempts = attempt
+            pairs = result.classified_pairs
+            if not pairs:
+                # Nothing classified: trivially "accepted" (all to manual).
+                accepted = True
+                break
+            estimate, verdicts = self.estimator.estimate(pairs)
+            estimate_point = estimate.point
+            if estimate.clears(self.precision_floor):
+                accepted = True
+                break
+
+            # Below the floor: analysts take the crowd-flagged errors.
+            by_id: Dict[str, ProductItem] = {item.item_id: item for item, _ in pairs}
+            errors = [
+                (by_id[v.item_id], v.predicted_type)
+                for v in verdicts
+                if not v.approved
+            ]
+            flagged.extend((item.item_id, wrong) for item, wrong in errors)
+            whitelists, blacklists = self.analyst.patch_rules_for_errors(errors)
+            self.chimera.add_whitelist_rules(whitelists)
+            self.chimera.add_blacklist_rules(blacklists)
+            rules_added += len(whitelists) + len(blacklists)
+
+            relabeled = self.analyst.label_items([item for item, _ in errors])
+            self.chimera.add_training(relabeled)
+            training_added += len(relabeled)
+            if attempt < self.max_attempts:
+                result = self.chimera.classify_batch(items)
+
+        # Declined items: manual team labels up to the per-batch budget;
+        # labels become training data (recall improves over time).
+        declined = result.declined[: self.manual_label_budget_per_batch]
+        if declined:
+            labeled = self.analyst.label_items(declined)
+            self.chimera.add_training(labeled)
+            training_added += len(labeled)
+        if self.chimera.pending_training >= self.retrain_every:
+            self.chimera.retrain(min_examples_per_type=3)
+
+        report = BatchReport(
+            batch_id=batch_id,
+            attempts=attempts,
+            accepted=accepted,
+            estimated_precision=estimate_point,
+            coverage=result.coverage,
+            rules_added=rules_added,
+            training_added=training_added,
+            errors_flagged=flagged,
+            true_precision=result.true_precision(),
+            true_recall=result.true_recall(),
+        )
+        self.reports.append(report)
+        return report

@@ -1,0 +1,111 @@
+"""Chimera's three classifier stages (section 3.3).
+
+1. a **rule-based classifier**: analyst whitelist/blacklist regex rules;
+2. an **attribute/value-based classifier**: attribute-presence rules
+   (``attr(isbn) -> books``) plus value rules that *constrain* candidate
+   types (brand "apple" → laptop/phone/...);
+3. **learning-based classifiers** behind a voting ensemble.
+
+All stages emit weighted :class:`~repro.core.rule.Prediction` lists so the
+Voting Master can combine them uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Set
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Prediction
+from repro.core.ruleset import RuleSet
+from repro.learning.ensemble import VotingEnsemble
+
+
+class ClassifierStage(ABC):
+    """A named pipeline stage producing per-item predictions."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.enabled = True
+
+    @abstractmethod
+    def predict(self, item: ProductItem) -> List[Prediction]:
+        """Weighted type votes for one item (empty when nothing fires)."""
+
+    def constraints(self, item: ProductItem) -> Optional[Set[str]]:
+        """Allowed-type restriction for ``item``, or None for unconstrained."""
+        return None
+
+
+class RuleBasedClassifier(ClassifierStage):
+    """Stage 1: whitelist/blacklist regex rules written by analysts."""
+
+    def __init__(self, rules: Optional[RuleSet] = None, name: str = "rule-based"):
+        super().__init__(name)
+        self.rules = rules if rules is not None else RuleSet(name=name)
+
+    def predict(self, item: ProductItem) -> List[Prediction]:
+        verdict = self.rules.apply(item)
+        return [
+            Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
+            for p in verdict.predictions
+        ]
+
+    def vetoes(self, item: ProductItem) -> Set[str]:
+        """Types this stage's blacklists veto for ``item``."""
+        return set(self.rules.apply(item).vetoed)
+
+
+class AttributeValueClassifier(ClassifierStage):
+    """Stage 2: attribute rules predict; value rules constrain."""
+
+    def __init__(self, rules: Optional[RuleSet] = None, name: str = "attr-value"):
+        super().__init__(name)
+        self.rules = rules if rules is not None else RuleSet(name=name)
+
+    def predict(self, item: ProductItem) -> List[Prediction]:
+        verdict = self.rules.apply(item)
+        return [
+            Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
+            for p in verdict.predictions
+        ]
+
+    def constraints(self, item: ProductItem) -> Optional[Set[str]]:
+        verdict = self.rules.apply(item)
+        if verdict.constrained_to is None:
+            return None
+        return set(verdict.constrained_to)
+
+
+class LearningClassifierStage(ClassifierStage):
+    """Stage 3: the learning ensemble, guarded against being unfit.
+
+    The stage reports no predictions until it has been trained — Chimera
+    must keep running (and declining) even when learning is not ready for
+    some or all types (section 3.2).
+    """
+
+    def __init__(self, ensemble: VotingEnsemble, name: str = "learning"):
+        super().__init__(name)
+        self.ensemble = ensemble
+        self._trained = False
+        # Types the operator has suppressed (incident scale-down).
+        self.suppressed_types: Set[str] = set()
+
+    def fit(self, titles: Sequence[str], labels: Sequence[str]) -> None:
+        self.ensemble.fit(titles, labels)
+        self._trained = True
+
+    @property
+    def is_trained(self) -> bool:
+        return self._trained
+
+    def predict(self, item: ProductItem) -> List[Prediction]:
+        if not self._trained:
+            return []
+        predictions = self.ensemble.predict(item.title)
+        return [
+            Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
+            for p in predictions
+            if p.label not in self.suppressed_types
+        ]

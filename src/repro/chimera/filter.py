@@ -1,0 +1,53 @@
+"""The Filter: last-line blacklist control over final predictions.
+
+Section 3.3: analysts add rules "to the Filter to control classifiers'
+behavior (here the analysts use mostly blacklist rules)", including
+business-mandated kill rules ("a rule is inserted killing off predictions
+regarding these types, routing such product items to the manual
+classification team").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Prediction
+from repro.core.ruleset import RuleSet
+
+
+class FinalFilter:
+    """Walks the ranked candidates, dropping vetoed or killed types."""
+
+    def __init__(self, rules: Optional[RuleSet] = None):
+        self.rules = rules if rules is not None else RuleSet(name="filter")
+        # Business kill switches: predictions for these types are always
+        # dropped and the items routed to manual classification.
+        self.killed_types: Set[str] = set()
+
+    def kill_type(self, type_name: str) -> None:
+        self.killed_types.add(type_name)
+
+    def revive_type(self, type_name: str) -> None:
+        self.killed_types.discard(type_name)
+
+    def vetoed_types(self, item: ProductItem) -> Set[str]:
+        verdict = self.rules.apply(item)
+        return set(verdict.vetoed) | self.killed_types
+
+    def select(
+        self, item: ProductItem, ranked: List[Prediction], confidence_threshold: float
+    ) -> Optional[Prediction]:
+        """First ranked candidate that survives vetoes and the threshold.
+
+        Only candidates at or above the Voting Master's confidence threshold
+        are considered — the Filter removes bad answers, it does not rescue
+        low-confidence ones.
+        """
+        vetoed = self.vetoed_types(item)
+        for candidate in ranked:
+            if candidate.weight < confidence_threshold:
+                return None
+            if candidate.label not in vetoed:
+                return candidate
+        return None

@@ -1,0 +1,132 @@
+"""Incident response: scale down, repair, restore, scale up (section 2.2).
+
+"Once detected, we need a way to quickly 'scale down' the system, e.g.,
+disabling the 'bad parts' of the currently deployed system ... After
+'scaling down' the system, we need a way to debug, repair, then restore the
+system to the previous state quickly."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyst.analyst import SimulatedAnalyst
+from repro.catalog.types import ProductItem
+from repro.chimera.pipeline import Chimera
+
+_incident_ids = itertools.count(1)
+
+
+@dataclass
+class Incident:
+    """One quality incident and everything done to contain it."""
+
+    incident_id: str
+    opened_at: float
+    affected_types: Tuple[str, ...]
+    disabled_rule_ids: Dict[str, List[str]] = field(default_factory=dict)
+    status: str = "open"  # open -> scaled-down -> repaired -> closed
+    notes: List[str] = field(default_factory=list)
+
+
+class IncidentManager:
+    """Executes the scale-down / repair / restore playbook on a Chimera."""
+
+    def __init__(self, chimera: Chimera):
+        self.chimera = chimera
+        self.incidents: List[Incident] = []
+
+    def open_incident(self, affected_types: Sequence[str], at: float = 0.0) -> Incident:
+        if not affected_types:
+            raise ValueError("an incident needs at least one affected type")
+        incident = Incident(
+            incident_id=f"incident-{next(_incident_ids):04d}",
+            opened_at=at,
+            affected_types=tuple(sorted(affected_types)),
+        )
+        self.incidents.append(incident)
+        return incident
+
+    def scale_down(self, incident: Incident) -> None:
+        """Disable the bad parts: suppress the affected types everywhere.
+
+        Rule modules: disable each affected type's rules (compositional —
+        minimal impact on the rest). Learning: suppress predictions for the
+        types at the Voting Master (a learning module cannot be partially
+        retrained in minutes, so suppression is the fast control).
+        """
+        if incident.status != "open":
+            raise ValueError(f"cannot scale down incident in state {incident.status!r}")
+        for type_name in incident.affected_types:
+            disabled = self.chimera.rule_stage.rules.disable_type(type_name)
+            attr_disabled = self.chimera.attr_stage.rules.disable_type(type_name)
+            incident.disabled_rule_ids[type_name] = disabled + attr_disabled
+            self.chimera.voting.suppressed_types.add(type_name)
+            self.chimera.learning_stage.suppressed_types.add(type_name)
+        incident.status = "scaled-down"
+        incident.notes.append(
+            f"suppressed {len(incident.affected_types)} types, "
+            f"disabled {sum(len(v) for v in incident.disabled_rule_ids.values())} rules"
+        )
+
+    def repair(
+        self,
+        incident: Incident,
+        analyst: SimulatedAnalyst,
+        error_samples: Sequence[Tuple[ProductItem, str]],
+    ) -> int:
+        """Analysts patch the affected types from sampled errors.
+
+        Returns the number of rules added. Also refreshes the affected
+        types' obvious rules so the repaired vocabulary is covered.
+        """
+        if incident.status != "scaled-down":
+            raise ValueError(f"cannot repair incident in state {incident.status!r}")
+        whitelists, blacklists = analyst.patch_rules_for_errors(error_samples)
+        self.chimera.add_whitelist_rules(whitelists)
+        self.chimera.add_blacklist_rules(blacklists)
+        added = len(whitelists) + len(blacklists)
+        for type_name in incident.affected_types:
+            if type_name in analyst.taxonomy:
+                refreshed = analyst.obvious_rules(type_name)
+                self.chimera.add_whitelist_rules(refreshed)
+                added += len(refreshed)
+        incident.status = "repaired"
+        incident.notes.append(f"added {added} repair rules")
+        return added
+
+    def restore(self, incident: Incident) -> None:
+        """Re-enable what scale-down disabled and lift the suppressions."""
+        if incident.status not in ("scaled-down", "repaired"):
+            raise ValueError(f"cannot restore incident in state {incident.status!r}")
+        for type_name, rule_ids in incident.disabled_rule_ids.items():
+            for rule_id in rule_ids:
+                if rule_id in self.chimera.rule_stage.rules:
+                    self.chimera.rule_stage.rules.enable(rule_id)
+                elif rule_id in self.chimera.attr_stage.rules:
+                    self.chimera.attr_stage.rules.enable(rule_id)
+        for type_name in incident.affected_types:
+            self.chimera.voting.suppressed_types.discard(type_name)
+            self.chimera.learning_stage.suppressed_types.discard(type_name)
+        incident.status = "closed"
+        incident.notes.append("restored")
+
+    def scale_up(
+        self,
+        analyst: SimulatedAnalyst,
+        new_type_names: Sequence[str],
+    ) -> int:
+        """Onboard unfamiliar types fast by writing their obvious rules.
+
+        Section 2.2's scale-up: "we need a way to extend Chimera to classify
+        these new items as soon as possible" (e.g. a new vendor contract).
+        Returns the number of rules added.
+        """
+        added = 0
+        for type_name in new_type_names:
+            rules = analyst.obvious_rules(type_name)
+            self.chimera.add_whitelist_rules(rules)
+            added += len(rules)
+        return added

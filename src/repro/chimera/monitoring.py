@@ -1,0 +1,95 @@
+"""Ongoing quality monitoring (section 2.2, "Ongoing System Requirements").
+
+"Since the incoming data is ever changing, at certain times Chimera's
+accuracy may suddenly degrade ... So we need a way to detect such quality
+problems quickly." The monitor tracks per-batch precision estimates and
+per-type error counts and raises degradation flags the IncidentManager
+acts on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Quality snapshot for one processed batch."""
+
+    batch_id: str
+    at: float
+    estimated_precision: float
+    coverage: float
+    n_items: int
+    error_types: Tuple[Tuple[str, int], ...] = ()
+
+
+class PrecisionMonitor:
+    """Sliding-window precision watchdog."""
+
+    def __init__(self, floor: float = 0.92, window: int = 5):
+        if not 0.0 < floor <= 1.0:
+            raise ValueError(f"floor must be in (0, 1], got {floor}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.floor = floor
+        self.window = window
+        self.history: List[BatchStats] = []
+        self._recent: Deque[BatchStats] = deque(maxlen=window)
+
+    def record(
+        self,
+        batch_id: str,
+        at: float,
+        estimated_precision: float,
+        coverage: float,
+        n_items: int,
+        errors_by_type: Optional[Dict[str, int]] = None,
+    ) -> BatchStats:
+        stats = BatchStats(
+            batch_id=batch_id,
+            at=at,
+            estimated_precision=estimated_precision,
+            coverage=coverage,
+            n_items=n_items,
+            error_types=tuple(sorted((errors_by_type or {}).items())),
+        )
+        self.history.append(stats)
+        self._recent.append(stats)
+        return stats
+
+    @property
+    def latest(self) -> Optional[BatchStats]:
+        return self.history[-1] if self.history else None
+
+    def degraded(self) -> bool:
+        """True when the latest batch fell below the floor."""
+        latest = self.latest
+        return latest is not None and latest.estimated_precision < self.floor
+
+    def persistent_degradation(self, batches: int = 2) -> bool:
+        """True when the last ``batches`` batches were all below the floor."""
+        if len(self._recent) < batches:
+            return False
+        tail = list(self._recent)[-batches:]
+        return all(stats.estimated_precision < self.floor for stats in tail)
+
+    def suspect_types(self, top: int = 3) -> List[Tuple[str, int]]:
+        """Most error-prone predicted types over the window.
+
+        These are the candidates for scale-down: the "bad parts" of the
+        currently deployed system.
+        """
+        counts: Counter = Counter()
+        for stats in self._recent:
+            for type_name, errors in stats.error_types:
+                counts[type_name] += errors
+        return counts.most_common(top)
+
+    def precision_series(self) -> List[Tuple[str, float]]:
+        return [(s.batch_id, s.estimated_precision) for s in self.history]
+
+    def coverage_series(self) -> List[Tuple[str, float]]:
+        return [(s.batch_id, s.coverage) for s in self.history]

@@ -1,0 +1,272 @@
+"""The assembled Chimera pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.generator import LabeledTitle
+from repro.catalog.types import ProductItem
+from repro.chimera.classifiers import (
+    AttributeValueClassifier,
+    LearningClassifierStage,
+    RuleBasedClassifier,
+)
+from repro.chimera.filter import FinalFilter
+from repro.chimera.gatekeeper import GateAction, GateKeeper
+from repro.chimera.voting import VotingMaster
+from repro.core.rule import Rule
+from repro.core.ruleset import RuleSet
+from repro.learning.ensemble import VotingEnsemble
+from repro.learning.knn import KNearestNeighbors
+from repro.learning.naive_bayes import MultinomialNaiveBayes
+from repro.learning.svm import LinearSvmClassifier
+
+
+@dataclass(frozen=True)
+class ItemResult:
+    """Outcome for one item: a label, or None when the system declines."""
+
+    item: ProductItem
+    label: Optional[str]
+    source: str = ""
+
+    @property
+    def classified(self) -> bool:
+        return self.label is not None
+
+
+@dataclass
+class BatchResult:
+    """Outcome for a batch.
+
+    ``declined`` items go to the manual classification team (section 2.2);
+    ``rejected`` items were junk the Gate Keeper refused.
+    """
+
+    results: List[ItemResult] = field(default_factory=list)
+    rejected: List[ProductItem] = field(default_factory=list)
+
+    @property
+    def classified_pairs(self) -> List[Tuple[ProductItem, str]]:
+        return [(r.item, r.label) for r in self.results if r.classified]
+
+    @property
+    def declined(self) -> List[ProductItem]:
+        return [r.item for r in self.results if not r.classified]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of (non-junk) items the system classified."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.classified) / len(self.results)
+
+    # Ground-truth metrics: for experiment reporting only — the deployed
+    # pipeline never sees true_type, but benchmarks need the real numbers.
+
+    def true_precision(self) -> float:
+        pairs = self.classified_pairs
+        if not pairs:
+            return 1.0
+        return sum(1 for item, label in pairs if item.true_type == label) / len(pairs)
+
+    def true_recall(self) -> float:
+        if not self.results:
+            return 0.0
+        correct = sum(
+            1 for r in self.results if r.classified and r.item.true_type == r.label
+        )
+        return correct / len(self.results)
+
+    def per_type_metrics(self) -> Dict[str, Tuple[float, float, int]]:
+        """type -> (precision, recall, item count) over this batch.
+
+        The per-type view is what the monitoring/incident flow drills into:
+        an aggregate precision can look fine while one type burns.
+        """
+        predicted: Dict[str, int] = {}
+        correct: Dict[str, int] = {}
+        actual: Dict[str, int] = {}
+        for result in self.results:
+            actual[result.item.true_type] = actual.get(result.item.true_type, 0) + 1
+            if not result.classified:
+                continue
+            predicted[result.label] = predicted.get(result.label, 0) + 1
+            if result.item.true_type == result.label:
+                correct[result.label] = correct.get(result.label, 0) + 1
+        metrics: Dict[str, Tuple[float, float, int]] = {}
+        for type_name in sorted(set(predicted) | set(actual)):
+            tp = correct.get(type_name, 0)
+            p_count = predicted.get(type_name, 0)
+            a_count = actual.get(type_name, 0)
+            precision = tp / p_count if p_count else 1.0
+            recall = tp / a_count if a_count else 0.0
+            metrics[type_name] = (precision, recall, a_count)
+        return metrics
+
+
+class Chimera:
+    """The full pipeline: gate → stages → voting → filter.
+
+    Use :meth:`build` for the standard assembly, or construct the pieces
+    explicitly for ablations (e.g. a learning-only Chimera for E5).
+    """
+
+    def __init__(
+        self,
+        gatekeeper: GateKeeper,
+        rule_stage: RuleBasedClassifier,
+        attr_stage: AttributeValueClassifier,
+        learning_stage: LearningClassifierStage,
+        voting: VotingMaster,
+        final_filter: FinalFilter,
+    ):
+        self.gatekeeper = gatekeeper
+        self.rule_stage = rule_stage
+        self.attr_stage = attr_stage
+        self.learning_stage = learning_stage
+        self.voting = voting
+        self.filter = final_filter
+        self.training_data: List[LabeledTitle] = []
+        self._pending_training = 0
+
+    @classmethod
+    def build(
+        cls,
+        confidence_threshold: float = 0.4,
+        ensemble: Optional[VotingEnsemble] = None,
+        seed: int = 0,
+    ) -> "Chimera":
+        """Standard assembly with the NB + kNN + SVM ensemble of section 3.1."""
+        if ensemble is None:
+            ensemble = VotingEnsemble(
+                [
+                    MultinomialNaiveBayes(),
+                    KNearestNeighbors(),
+                    LinearSvmClassifier(seed=seed),
+                ]
+            )
+        return cls(
+            gatekeeper=GateKeeper(),
+            rule_stage=RuleBasedClassifier(RuleSet(name="rule-based")),
+            attr_stage=AttributeValueClassifier(RuleSet(name="attr-value")),
+            learning_stage=LearningClassifierStage(ensemble),
+            voting=VotingMaster(confidence_threshold=confidence_threshold),
+            final_filter=FinalFilter(RuleSet(name="filter")),
+        )
+
+    # -- rule management hooks --------------------------------------------------
+
+    def add_whitelist_rules(self, rules: Sequence[Rule]) -> None:
+        self.rule_stage.rules.extend(rules)
+
+    def add_blacklist_rules(self, rules: Sequence[Rule], to_filter: bool = True) -> None:
+        """Blacklists default to the Filter (the analysts' usual target)."""
+        target = self.filter.rules if to_filter else self.rule_stage.rules
+        target.extend(rules)
+
+    def add_attribute_rules(self, rules: Sequence[Rule]) -> None:
+        self.attr_stage.rules.extend(rules)
+
+    def rule_count(self) -> Dict[str, int]:
+        return {
+            "gate": len(self.gatekeeper.bypass_rules),
+            "rule-based": len(self.rule_stage.rules),
+            "attr-value": len(self.attr_stage.rules),
+            "filter": len(self.filter.rules),
+        }
+
+    # -- training management -----------------------------------------------------
+
+    def add_training(self, labeled: Sequence[LabeledTitle]) -> None:
+        self.training_data.extend(labeled)
+        self._pending_training += len(labeled)
+
+    def retrain(self, min_examples_per_type: int = 1) -> bool:
+        """Retrain the ensemble on the accumulated training data.
+
+        Types with fewer than ``min_examples_per_type`` examples are dropped
+        from training (unreliable predictions hurt precision; those types
+        stay rule-handled, matching section 3.3's 30% figure).
+        Returns False when there is nothing to train on.
+        """
+        counts: Dict[str, int] = {}
+        for example in self.training_data:
+            counts[example.label] = counts.get(example.label, 0) + 1
+        usable = [
+            example
+            for example in self.training_data
+            if counts[example.label] >= min_examples_per_type
+        ]
+        if not usable:
+            return False
+        titles = [example.title for example in usable]
+        labels = [example.label for example in usable]
+        self.learning_stage.fit(titles, labels)
+        self._pending_training = 0
+        return True
+
+    @property
+    def pending_training(self) -> int:
+        return self._pending_training
+
+    # -- classification -----------------------------------------------------------
+
+    def classify_item(self, item: ProductItem) -> Optional[ItemResult]:
+        """Classify one item; None means the gate rejected it as junk."""
+        decision = self.gatekeeper.process(item)
+        if decision.action is GateAction.REJECT:
+            return None
+        if decision.action is GateAction.CLASSIFY:
+            return ItemResult(item, decision.label, source="gate")
+        stages = [self.rule_stage, self.attr_stage, self.learning_stage]
+        final, ranked = self.voting.combine(item, stages)
+        if final is None and not ranked:
+            return ItemResult(item, None, source="no-votes")
+        chosen = self.filter.select(item, ranked, self.voting.confidence_threshold)
+        if chosen is None:
+            return ItemResult(item, None, source="low-confidence-or-filtered")
+        return ItemResult(item, chosen.label, source="pipeline")
+
+    def explain_item(self, item: ProductItem) -> str:
+        """A human-readable account of how the pipeline treated ``item``.
+
+        Section 3.2's liability requirement: predictions for sensitive
+        types must be explainable, and rule provenance is what makes the
+        explanation crisp. Learning votes are reported as such — which is
+        exactly why business-critical types are forced through rules.
+        """
+        from repro.core.explain import explain_verdict
+
+        result = self.classify_item(item)
+        lines: List[str] = []
+        decision = self.gatekeeper.process(item)
+        lines.append(f"gate: {decision.action.value}"
+                     + (f" ({decision.reason})" if decision.reason else ""))
+        for stage in (self.rule_stage, self.attr_stage):
+            explanation = explain_verdict(stage.rules, item)
+            if explanation.steps:
+                lines.append(f"stage {stage.name}:")
+                for step in explanation.steps:
+                    lines.append(f"  [{step.kind}] {step.statement} -> {step.effect}")
+        learning_votes = self.learning_stage.predict(item)
+        if learning_votes:
+            rendered = ", ".join(f"{p.label} ({p.weight:.2f})" for p in learning_votes)
+            lines.append(f"stage learning: {rendered}")
+        filter_vetoes = self.filter.vetoed_types(item)
+        if filter_vetoes:
+            lines.append(f"filter vetoes: {sorted(filter_vetoes)}")
+        label = result.label if result is not None else None
+        lines.append(f"final: {label if label else 'unclassified'}")
+        return "\n".join(lines)
+
+    def classify_batch(self, items: Sequence[ProductItem]) -> BatchResult:
+        result = BatchResult()
+        for item in items:
+            item_result = self.classify_item(item)
+            if item_result is None:
+                result.rejected.append(item)
+            else:
+                result.results.append(item_result)
+        return result

@@ -1,0 +1,18 @@
+"""Clustering substrate (entity resolution into groups).
+
+Section 1 lists clustering among the rule-using system classes. Here it is
+product-variant clustering: connected components over pairwise EM matches,
+constrained by analyst **must-link / cannot-link rules** — the rule form
+clustering teams actually maintain ("these two brands are the same
+company", "never merge refurbished with new").
+"""
+
+from repro.clustering.cluster import ClusterReport, RuleConstrainedClusterer
+from repro.clustering.constraints import CannotLinkRule, MustLinkRule
+
+__all__ = [
+    "CannotLinkRule",
+    "ClusterReport",
+    "MustLinkRule",
+    "RuleConstrainedClusterer",
+]

@@ -1,0 +1,51 @@
+"""Clustering constraint rules over record pairs."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.em.records import Record
+from repro.em.rules import EmPredicate, parse_em_rule
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class MustLinkRule:
+    """Force two records into the same cluster when the condition holds.
+
+    The condition is an EM-rule conjunction (same grammar as
+    :func:`repro.em.rules.parse_em_rule`'s left-hand side with a ``match``
+    decision).
+    """
+
+    source: str
+    rule_id: str = field(default_factory=lambda: f"ml-{next(_rule_ids):05d}")
+
+    def __post_init__(self) -> None:
+        rule = parse_em_rule(f"{self.source} -> match")
+        self._predicates = rule.predicates
+
+    def fires(self, a: Record, b: Record) -> bool:
+        return all(predicate(a, b) for predicate in self._predicates)
+
+
+@dataclass
+class CannotLinkRule:
+    """Forbid two records from sharing a cluster when the condition holds.
+
+    Cannot-link wins over any pairwise match and over must-link (safety
+    rules veto, exactly like blacklists in classification).
+    """
+
+    source: str
+    rule_id: str = field(default_factory=lambda: f"cl-{next(_rule_ids):05d}")
+
+    def __post_init__(self) -> None:
+        rule = parse_em_rule(f"{self.source} -> match")
+        self._predicates = rule.predicates
+
+    def fires(self, a: Record, b: Record) -> bool:
+        return all(predicate(a, b) for predicate in self._predicates)

@@ -1,0 +1,99 @@
+"""Rule-management core: the paper's primary contribution surface.
+
+Rules (whitelist/blacklist regexes, attribute, value-constraint, predicate,
+and generated sequence rules), the analyst DSL, ordered rule sets with
+whitelist-before-blacklist semantics, a lifecycle registry with audit trail,
+and mechanical checks of the rule-system properties section 4 calls for.
+"""
+
+from repro.core.errors import (
+    DuplicateRuleError,
+    LifecycleError,
+    RuleError,
+    RuleParseError,
+    UnknownDictionaryError,
+    UnknownRuleError,
+    UnknownUdfError,
+)
+from repro.core.language import (
+    ConstraintRule,
+    DictionaryStore,
+    UdfRegistry,
+    parse_rule,
+    parse_rules,
+)
+from repro.core.explain import Explanation, ExplanationStep, explain_verdict
+from repro.core.persistence import (
+    load_registry,
+    load_ruleset,
+    save_registry,
+    save_ruleset,
+)
+from repro.core.properties import (
+    OrderIndependenceReport,
+    annihilated_items,
+    check_order_independence,
+    stage_partition,
+    whitelist_conflicts,
+)
+from repro.core.registry import AuditEntry, RuleRegistry
+from repro.core.rule import (
+    AttributeRule,
+    BlacklistRule,
+    Clause,
+    PredicateRule,
+    Prediction,
+    RegexRule,
+    Rule,
+    RuleStatus,
+    SequenceRule,
+    ValueConstraintRule,
+    WhitelistRule,
+    compile_title_regex,
+    extract_anchor_literals,
+)
+from repro.core.ruleset import RuleSet, RuleVerdict
+
+__all__ = [
+    "AttributeRule",
+    "AuditEntry",
+    "BlacklistRule",
+    "Clause",
+    "ConstraintRule",
+    "DictionaryStore",
+    "DuplicateRuleError",
+    "Explanation",
+    "ExplanationStep",
+    "LifecycleError",
+    "OrderIndependenceReport",
+    "PredicateRule",
+    "Prediction",
+    "RegexRule",
+    "Rule",
+    "RuleError",
+    "RuleParseError",
+    "RuleRegistry",
+    "RuleSet",
+    "RuleStatus",
+    "RuleVerdict",
+    "SequenceRule",
+    "UdfRegistry",
+    "UnknownDictionaryError",
+    "UnknownRuleError",
+    "UnknownUdfError",
+    "ValueConstraintRule",
+    "WhitelistRule",
+    "annihilated_items",
+    "check_order_independence",
+    "compile_title_regex",
+    "explain_verdict",
+    "extract_anchor_literals",
+    "load_registry",
+    "load_ruleset",
+    "parse_rule",
+    "parse_rules",
+    "save_registry",
+    "save_ruleset",
+    "stage_partition",
+    "whitelist_conflicts",
+]

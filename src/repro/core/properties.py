@@ -1,0 +1,119 @@
+"""Rule-system properties (section 4, "Rule System Properties and Design").
+
+The paper proposes identifying and *proving* properties such as "the output
+of the system remains the same regardless of the order in which the rules
+are being executed". :class:`~repro.core.ruleset.RuleSet` fixes the stage
+order (whitelists → constraints → blacklists), which makes output
+order-independent **provided** whitelist rules don't interact through the
+per-label strongest-vote reduction in conflicting ways. This module checks
+the property empirically and reports the interaction patterns that would
+break the assumptions:
+
+* whitelist conflicts — two whitelist rules assign *different* types to the
+  same item (the verdict still contains both, but a downstream single-label
+  consumer becomes order/tie-break sensitive);
+* annihilation — blacklists veto every whitelist vote for an item, which is
+  legal but worth surfacing during design review.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule
+from repro.core.ruleset import RuleSet, RuleVerdict
+
+
+@dataclass(frozen=True)
+class OrderIndependenceReport:
+    """Result of the empirical order-independence check."""
+
+    holds: bool
+    trials: int
+    items_checked: int
+    first_violation: str = ""
+
+
+def _verdict_signature(verdict: RuleVerdict) -> Tuple:
+    predictions = tuple(sorted((p.label, round(p.weight, 9)) for p in verdict.predictions))
+    return predictions, tuple(sorted(verdict.vetoed)), verdict.constrained_to
+
+
+def check_order_independence(
+    ruleset: RuleSet,
+    items: Sequence[ProductItem],
+    trials: int = 5,
+    seed: int = 0,
+) -> OrderIndependenceReport:
+    """Empirically verify that rule order does not change verdicts.
+
+    Rebuilds the rule set in ``trials`` random permutations and compares
+    verdict signatures on every item.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = random.Random(seed)
+    baseline = [_verdict_signature(ruleset.apply(item)) for item in items]
+    rules = list(ruleset)
+    for trial in range(trials):
+        shuffled = list(rules)
+        rng.shuffle(shuffled)
+        permuted = RuleSet(shuffled, name=f"{ruleset.name}-perm{trial}")
+        # Preserve enabled flags (RuleSet shares rule objects, so they carry).
+        for index, item in enumerate(items):
+            signature = _verdict_signature(permuted.apply(item))
+            if signature != baseline[index]:
+                return OrderIndependenceReport(
+                    holds=False,
+                    trials=trial + 1,
+                    items_checked=index + 1,
+                    first_violation=(
+                        f"item {item.item_id}: {baseline[index]} != {signature}"
+                    ),
+                )
+    return OrderIndependenceReport(holds=True, trials=trials, items_checked=len(items))
+
+
+def whitelist_conflicts(
+    ruleset: RuleSet, items: Sequence[ProductItem]
+) -> List[Tuple[ProductItem, List[str]]]:
+    """Items for which whitelist rules assert more than one distinct type."""
+    conflicts = []
+    for item in items:
+        labels: Set[str] = set()
+        for rule in ruleset.whitelists():
+            if rule.matches(item):
+                labels.add(rule.target_type)
+        if len(labels) > 1:
+            conflicts.append((item, sorted(labels)))
+    return conflicts
+
+
+def annihilated_items(
+    ruleset: RuleSet, items: Sequence[ProductItem]
+) -> List[ProductItem]:
+    """Items where blacklists vetoed every whitelist vote."""
+    wiped = []
+    for item in items:
+        asserted = {
+            rule.target_type for rule in ruleset.whitelists() if rule.matches(item)
+        }
+        if not asserted:
+            continue
+        verdict = ruleset.apply(item)
+        if not verdict.predictions:
+            wiped.append(item)
+    return wiped
+
+
+def stage_partition(ruleset: RuleSet) -> Dict[str, int]:
+    """Rule counts per evaluation stage, for design review output."""
+    return {
+        "whitelist": len(ruleset.whitelists()),
+        "constraint": len(ruleset.constraints()),
+        "blacklist": len(ruleset.blacklists()),
+        "disabled": len(list(ruleset)) - len(ruleset.active_rules()),
+    }

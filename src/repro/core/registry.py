@@ -1,0 +1,177 @@
+"""Rule registry: the managed home of every rule in the system.
+
+The paper's central complaint is that industrial systems manage tens of
+thousands of rules "in an ad-hoc fashion". The registry is the principled
+alternative: every rule has a lifecycle (draft → validated → deployed ⇄
+disabled → retired), every transition is audited with actor and simulated
+timestamp, and queries answer the operational questions — what is deployed
+for type t, what did analyst a write, what was disabled during the incident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.errors import DuplicateRuleError, LifecycleError, UnknownRuleError
+from repro.core.rule import Rule, RuleStatus
+from repro.core.ruleset import RuleSet
+from repro.utils.clock import SimClock
+
+# Allowed lifecycle transitions.
+_TRANSITIONS = {
+    RuleStatus.DRAFT: {RuleStatus.VALIDATED, RuleStatus.RETIRED},
+    RuleStatus.VALIDATED: {RuleStatus.DEPLOYED, RuleStatus.RETIRED},
+    RuleStatus.DEPLOYED: {RuleStatus.DISABLED, RuleStatus.RETIRED},
+    RuleStatus.DISABLED: {RuleStatus.DEPLOYED, RuleStatus.RETIRED},
+    RuleStatus.RETIRED: set(),
+}
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One registry event, for the audit trail."""
+
+    at: float
+    actor: str
+    action: str
+    rule_id: str
+    detail: str = ""
+
+
+@dataclass
+class RegisteredRule:
+    """A rule plus its management state."""
+
+    rule: Rule
+    status: RuleStatus = RuleStatus.DRAFT
+    precision_estimate: Optional[float] = None
+    version: int = 1
+
+
+class RuleRegistry:
+    """Lifecycle-managed store of rules."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._entries: Dict[str, RegisteredRule] = {}
+        self._audit: List[AuditEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._entries
+
+    def _log(self, actor: str, action: str, rule_id: str, detail: str = "") -> None:
+        self._audit.append(AuditEntry(self.clock.now, actor, action, rule_id, detail))
+
+    def _entry(self, rule_id: str) -> RegisteredRule:
+        try:
+            return self._entries[rule_id]
+        except KeyError:
+            raise UnknownRuleError(rule_id) from None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def submit(self, rule: Rule, actor: str = "analyst") -> str:
+        """Register a new draft rule; returns its id."""
+        if rule.rule_id in self._entries:
+            raise DuplicateRuleError(f"rule {rule.rule_id!r} already registered")
+        rule.created_at = self.clock.now
+        rule.enabled = False  # drafts do not fire until deployed
+        self._entries[rule.rule_id] = RegisteredRule(rule=rule)
+        self._log(actor, "submit", rule.rule_id, rule.describe())
+        return rule.rule_id
+
+    def submit_all(self, rules: Iterable[Rule], actor: str = "analyst") -> List[str]:
+        return [self.submit(rule, actor) for rule in rules]
+
+    def _transition(self, rule_id: str, to: RuleStatus, actor: str, detail: str = "") -> None:
+        entry = self._entry(rule_id)
+        if to not in _TRANSITIONS[entry.status]:
+            raise LifecycleError(
+                f"rule {rule_id}: illegal transition {entry.status.value} -> {to.value}"
+            )
+        entry.status = to
+        entry.rule.enabled = to is RuleStatus.DEPLOYED
+        self._log(actor, to.value, rule_id, detail)
+
+    def validate(self, rule_id: str, precision_estimate: float, actor: str = "analyst") -> None:
+        """Mark a rule validated, recording the crowd/analyst precision estimate."""
+        if not 0.0 <= precision_estimate <= 1.0:
+            raise ValueError(f"precision estimate must be in [0, 1], got {precision_estimate}")
+        self._entry(rule_id).precision_estimate = precision_estimate
+        self._transition(rule_id, RuleStatus.VALIDATED, actor, f"precision={precision_estimate:.3f}")
+
+    def deploy(self, rule_id: str, actor: str = "analyst") -> None:
+        self._transition(rule_id, RuleStatus.DEPLOYED, actor)
+
+    def disable(self, rule_id: str, actor: str = "analyst", reason: str = "") -> None:
+        self._transition(rule_id, RuleStatus.DISABLED, actor, reason)
+
+    def retire(self, rule_id: str, actor: str = "analyst", reason: str = "") -> None:
+        self._transition(rule_id, RuleStatus.RETIRED, actor, reason)
+
+    def revise(self, rule_id: str, replacement: Rule, actor: str = "analyst") -> str:
+        """Replace a rule's logic in place, bumping its version.
+
+        The replacement keeps the original id so downstream references and
+        evaluation history stay attached.
+        """
+        entry = self._entry(rule_id)
+        replacement.rule_id = rule_id
+        replacement.created_at = self.clock.now
+        entry.rule = replacement
+        entry.version += 1
+        entry.precision_estimate = None  # must be re-validated
+        if entry.status in (RuleStatus.VALIDATED, RuleStatus.DEPLOYED):
+            entry.status = RuleStatus.DRAFT
+        self._log(actor, "revise", rule_id, f"v{entry.version}")
+        return rule_id
+
+    # -- queries ---------------------------------------------------------------------
+
+    def get(self, rule_id: str) -> Rule:
+        return self._entry(rule_id).rule
+
+    def status_of(self, rule_id: str) -> RuleStatus:
+        return self._entry(rule_id).status
+
+    def precision_of(self, rule_id: str) -> Optional[float]:
+        return self._entry(rule_id).precision_estimate
+
+    def query(
+        self,
+        status: Optional[RuleStatus] = None,
+        target_type: Optional[str] = None,
+        author: Optional[str] = None,
+    ) -> List[Rule]:
+        """Rules matching all given filters, in registration order."""
+        results = []
+        for rule_id, entry in self._entries.items():
+            if status is not None and entry.status is not status:
+                continue
+            if target_type is not None and entry.rule.target_type != target_type:
+                continue
+            if author is not None and entry.rule.author != author:
+                continue
+            results.append(entry.rule)
+        return results
+
+    def deployed_ruleset(self, name: str = "deployed") -> RuleSet:
+        """A RuleSet of everything currently deployed."""
+        return RuleSet(self.query(status=RuleStatus.DEPLOYED), name=name)
+
+    def counts_by_status(self) -> Dict[str, int]:
+        counts = {status.value: 0 for status in RuleStatus}
+        for entry in self._entries.values():
+            counts[entry.status.value] += 1
+        return counts
+
+    @property
+    def audit_log(self) -> List[AuditEntry]:
+        return list(self._audit)
+
+    def audit_for(self, rule_id: str) -> List[AuditEntry]:
+        return [entry for entry in self._audit if entry.rule_id == rule_id]

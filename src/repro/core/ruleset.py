@@ -1,0 +1,202 @@
+"""Rule sets: ordered collections with whitelist-before-blacklist semantics.
+
+Section 4 ("Rule System Properties and Design"): "in Chimera the rule-based
+module always executes the whitelist rules before the blacklist rules. So
+under certain assumptions ... the execution order among the whitelist rules
+(or the blacklist rules) does not affect the final output." A
+:class:`RuleSet` implements exactly that evaluation discipline; the
+order-independence assumptions themselves are checked by
+:mod:`repro.core.properties`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.errors import DuplicateRuleError, UnknownRuleError
+from repro.core.rule import Prediction, Rule
+
+
+@dataclass(frozen=True)
+class RuleVerdict:
+    """The outcome of applying a rule set to one item.
+
+    ``predictions`` are the surviving whitelist votes; ``vetoed`` records the
+    types blacklists killed (useful for debugging, section 3.2's "ability to
+    trace errors"); ``fired`` lists every rule id that matched.
+    """
+
+    predictions: Tuple[Prediction, ...]
+    vetoed: Tuple[str, ...] = ()
+    constrained_to: Optional[Tuple[str, ...]] = None
+    fired: Tuple[str, ...] = ()
+
+    @property
+    def labels(self) -> List[str]:
+        return [p.label for p in self.predictions]
+
+    def best(self) -> Optional[Prediction]:
+        """Highest-weight surviving prediction, ties broken by label."""
+        if not self.predictions:
+            return None
+        return max(self.predictions, key=lambda p: (p.weight, p.label))
+
+
+class RuleSet:
+    """An ordered, mutable collection of rules with stable evaluation.
+
+    Evaluation order (fixed by design, per section 4):
+
+    1. whitelist rules (any internal order) produce candidate predictions;
+    2. constraint rules restrict the candidate label set;
+    3. blacklist rules veto labels.
+
+    Disabled rules are retained (so they can be re-enabled after an incident,
+    section 2.2's scale-down/restore) but never fire.
+    """
+
+    def __init__(self, rules: Iterable[Rule] = (), name: str = "ruleset"):
+        self.name = name
+        self._rules: Dict[str, Rule] = {}
+        self._order: List[str] = []
+        for rule in rules:
+            self.add(rule)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules[rule_id] for rule_id in self._order)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise UnknownRuleError(rule_id) from None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, rule: Rule) -> Rule:
+        if rule.rule_id in self._rules:
+            raise DuplicateRuleError(f"rule {rule.rule_id!r} already in {self.name!r}")
+        self._rules[rule.rule_id] = rule
+        self._order.append(rule.rule_id)
+        return rule
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.add(rule)
+
+    def remove(self, rule_id: str) -> Rule:
+        rule = self.get(rule_id)
+        del self._rules[rule_id]
+        self._order.remove(rule_id)
+        return rule
+
+    def disable(self, rule_id: str) -> None:
+        """Switch a rule off without losing it (fast incident response)."""
+        self.get(rule_id).enabled = False
+
+    def enable(self, rule_id: str) -> None:
+        self.get(rule_id).enabled = True
+
+    def disable_type(self, target_type: str) -> List[str]:
+        """Disable every rule targeting ``target_type``; returns their ids.
+
+        This is the "scale down" primitive: when predictions for one type go
+        bad, kill that type's rules with minimal impact on the rest.
+        """
+        disabled = []
+        for rule in self:
+            if rule.target_type == target_type and rule.enabled:
+                rule.enabled = False
+                disabled.append(rule.rule_id)
+        return disabled
+
+    def enable_all(self, rule_ids: Iterable[str]) -> None:
+        for rule_id in rule_ids:
+            self.enable(rule_id)
+
+    # -- views --------------------------------------------------------------------
+
+    def active_rules(self) -> List[Rule]:
+        return [rule for rule in self if rule.enabled]
+
+    def whitelists(self) -> List[Rule]:
+        return [r for r in self.active_rules() if not r.is_blacklist and not r.is_constraint]
+
+    def blacklists(self) -> List[Rule]:
+        return [r for r in self.active_rules() if r.is_blacklist]
+
+    def constraints(self) -> List[Rule]:
+        return [r for r in self.active_rules() if r.is_constraint]
+
+    def rules_for_type(self, target_type: str) -> List[Rule]:
+        return [r for r in self if r.target_type == target_type]
+
+    def target_types(self) -> Set[str]:
+        return {r.target_type for r in self}
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def apply(self, item: ProductItem) -> RuleVerdict:
+        """Evaluate all active rules on ``item`` (whitelists → constraints →
+        blacklists) and return the verdict."""
+        fired: List[str] = []
+        predictions: List[Prediction] = []
+        seen_labels: Set[str] = set()
+        for rule in self.whitelists():
+            prediction = rule.predict(item)
+            if prediction is not None:
+                fired.append(rule.rule_id)
+                if prediction.label not in seen_labels:
+                    predictions.append(prediction)
+                    seen_labels.add(prediction.label)
+                else:
+                    # Keep the strongest vote per label.
+                    predictions = [
+                        p if p.label != prediction.label or p.weight >= prediction.weight
+                        else prediction
+                        for p in predictions
+                    ]
+
+        allowed: Optional[Set[str]] = None
+        for rule in self.constraints():
+            if rule.matches(item):
+                fired.append(rule.rule_id)
+                rule_allowed = set(rule.allowed_types)
+                allowed = rule_allowed if allowed is None else (allowed & rule_allowed)
+        if allowed is not None:
+            predictions = [p for p in predictions if p.label in allowed]
+
+        vetoed: List[str] = []
+        for rule in self.blacklists():
+            if rule.matches(item):
+                fired.append(rule.rule_id)
+                vetoed.append(rule.target_type)
+        veto_set = set(vetoed)
+        surviving = tuple(p for p in predictions if p.label not in veto_set)
+
+        return RuleVerdict(
+            predictions=surviving,
+            vetoed=tuple(sorted(veto_set)),
+            constrained_to=tuple(sorted(allowed)) if allowed is not None else None,
+            fired=tuple(fired),
+        )
+
+    def coverage(self, items: Sequence[ProductItem]) -> Dict[str, List[str]]:
+        """rule id -> item ids it fires on. The §4 evaluation methods and the
+        §5.2 selection algorithms both work off coverage sets."""
+        covered: Dict[str, List[str]] = {rule.rule_id: [] for rule in self}
+        for item in items:
+            for rule in self.active_rules():
+                if rule.matches(item):
+                    covered[rule.rule_id].append(item.item_id)
+        return covered

@@ -1,0 +1,27 @@
+"""Simulated crowdsourcing substrate.
+
+The paper's pipelines lean on crowdsourcing for two jobs: verifying
+(item, predicted type) pairs sampled from a result set, and validating
+rules (sections 3.3, 4, 5.2). This package simulates a crowd: workers with
+per-worker accuracy, plurality voting over multiple assignments, explicit
+budgets (crowd answers cost money — the paper's cost arguments only make
+sense if we track spend), and precision estimation with Wilson intervals.
+"""
+
+from repro.crowd.budget import BudgetExhausted, CrowdBudget
+from repro.crowd.estimator import PrecisionEstimate, PrecisionEstimator
+from repro.crowd.synonym_judge import CrowdSynonymJudge
+from repro.crowd.tasks import CrowdVerdict, VerificationTask
+from repro.crowd.worker import CrowdWorker, WorkerPool
+
+__all__ = [
+    "BudgetExhausted",
+    "CrowdBudget",
+    "CrowdSynonymJudge",
+    "CrowdVerdict",
+    "CrowdWorker",
+    "PrecisionEstimate",
+    "PrecisionEstimator",
+    "VerificationTask",
+    "WorkerPool",
+]

@@ -1,0 +1,48 @@
+"""Crowd budget accounting.
+
+Section 4: "evaluating the precision of tens of thousands of rules this way
+incurs prohibitive costs". Costs only bite if they are tracked, so every
+crowd answer debits a budget; evaluation strategies are compared on both
+accuracy and spend.
+"""
+
+from __future__ import annotations
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a crowd call would exceed the remaining budget."""
+
+
+class CrowdBudget:
+    """A simple spend meter (1 unit == one worker answer by default)."""
+
+    def __init__(self, total: float, cost_per_answer: float = 1.0):
+        if total < 0:
+            raise ValueError(f"total budget must be non-negative, got {total}")
+        if cost_per_answer <= 0:
+            raise ValueError(f"cost per answer must be positive, got {cost_per_answer}")
+        self.total = total
+        self.cost_per_answer = cost_per_answer
+        self.spent = 0.0
+        self.answers = 0
+
+    @property
+    def remaining(self) -> float:
+        return self.total - self.spent
+
+    def can_afford(self, answers: int) -> bool:
+        return self.spent + answers * self.cost_per_answer <= self.total
+
+    def charge(self, answers: int) -> None:
+        if answers < 0:
+            raise ValueError(f"answers must be non-negative, got {answers}")
+        cost = answers * self.cost_per_answer
+        if self.spent + cost > self.total:
+            raise BudgetExhausted(
+                f"need {cost:.1f} but only {self.remaining:.1f} of {self.total:.1f} left"
+            )
+        self.spent += cost
+        self.answers += answers
+
+    def __repr__(self) -> str:
+        return f"<CrowdBudget spent={self.spent:.0f}/{self.total:.0f}>"

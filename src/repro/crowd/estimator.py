@@ -1,0 +1,71 @@
+"""Sample-based precision estimation via the crowd.
+
+This is how Chimera decides whether a classified batch clears the 92%
+precision floor (sections 2.2, 3.3): sample the result set, have the crowd
+verify the sample, and act on the interval estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.crowd.tasks import CrowdVerdict, VerificationTask
+from repro.utils.sampling import reservoir_sample
+from repro.utils.stats import wilson_interval
+
+
+@dataclass(frozen=True)
+class PrecisionEstimate:
+    """Point and interval estimate of a result set's precision."""
+
+    point: float
+    low: float
+    high: float
+    sample_size: int
+    approved: int
+
+    def clears(self, floor: float) -> bool:
+        """True when the point estimate meets the floor.
+
+        The paper's teams act on the sample's observed precision; the
+        interval is reported so operators can see the uncertainty.
+        """
+        return self.point >= floor
+
+
+class PrecisionEstimator:
+    """Estimates precision of (item, predicted) result sets by crowd sampling."""
+
+    def __init__(self, task: VerificationTask, sample_size: int = 100, seed: int = 0):
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self.task = task
+        self.sample_size = sample_size
+        self.rng = random.Random(seed)
+
+    def estimate(
+        self, pairs: Sequence[Tuple[ProductItem, str]]
+    ) -> Tuple[PrecisionEstimate, List[CrowdVerdict]]:
+        """Estimate precision of ``pairs``; returns the verdicts too.
+
+        The rejected verdicts are exactly what the analysts receive for
+        error-pattern analysis ("pairs that the crowd say 'no' to are
+        flagged ... and sent to the analysts", section 3.3).
+        """
+        if not pairs:
+            raise ValueError("cannot estimate precision of an empty result set")
+        sample = reservoir_sample(pairs, min(self.sample_size, len(pairs)), self.rng)
+        verdicts = self.task.verify_pairs(sample)
+        approved = sum(1 for verdict in verdicts if verdict.approved)
+        low, high = wilson_interval(approved, len(verdicts))
+        estimate = PrecisionEstimate(
+            point=approved / len(verdicts),
+            low=low,
+            high=high,
+            sample_size=len(verdicts),
+            approved=approved,
+        )
+        return estimate, verdicts

@@ -1,0 +1,83 @@
+"""Crowd-assisted synonym verification.
+
+Section 4 flags the open challenge of "how to use crowdsourcing to help the
+analysts, either in creating a single rule or multiple rules". This judge
+replaces (or supplements) the analyst in the section 5.1 tool loop: each
+candidate synonym is voted on by several workers, majority wins, budget is
+charged per answer. It duck-types ``judge_synonym`` so
+:class:`~repro.synonym.session.DiscoverySession` accepts either a
+:class:`~repro.analyst.analyst.SimulatedAnalyst` or this judge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.catalog.types import Taxonomy
+from repro.crowd.budget import CrowdBudget
+from repro.crowd.worker import WorkerPool
+
+
+class CrowdSynonymJudge:
+    """Majority-voted crowd judgement of synonym candidates."""
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        pool: WorkerPool,
+        budget: Optional[CrowdBudget] = None,
+        votes_per_candidate: int = 3,
+        seed: int = 0,
+    ):
+        if votes_per_candidate < 1 or votes_per_candidate % 2 == 0:
+            raise ValueError(
+                f"votes_per_candidate must be odd and >= 1, got {votes_per_candidate}"
+            )
+        self.taxonomy = taxonomy
+        self.pool = pool
+        self.budget = budget
+        self.votes_per_candidate = votes_per_candidate
+        self.rng = random.Random(seed)
+        self.candidates_judged = 0
+
+    def confirm_dictionary_entry(self, attribute: str, phrase: str) -> bool:
+        """Majority vote on an IE-dictionary candidate (section 5.3).
+
+        Ground truth for ``brand`` entries is the catalog's brand
+        vocabulary (what the crowd would check against the web).
+        """
+        if self.budget is not None:
+            self.budget.charge(self.votes_per_candidate)
+        self.candidates_judged += 1
+        if attribute == "brand":
+            known = set()
+            for product_type in self.taxonomy:
+                known.update(product_type.brands)
+            truth = phrase.lower() in known
+        else:
+            truth = False
+        yes = 0
+        for worker in self.pool.draw(self.votes_per_candidate):
+            answer = truth if self.rng.random() < worker.accuracy else not truth
+            if answer:
+                yes += 1
+        return yes * 2 > self.votes_per_candidate
+
+    def judge_synonym(self, type_name: str, slot: Optional[str], candidate: str) -> bool:
+        """Majority vote on whether ``candidate`` belongs to the family."""
+        if self.budget is not None:
+            self.budget.charge(self.votes_per_candidate)
+        self.candidates_judged += 1
+        product_type = self.taxonomy.get(type_name)
+        if slot is None:
+            family = set(product_type.all_modifiers())
+        else:
+            family = set(product_type.slot(slot))
+        truth = candidate in family
+        yes = 0
+        for worker in self.pool.draw(self.votes_per_candidate):
+            answer = truth if self.rng.random() < worker.accuracy else not truth
+            if answer:
+                yes += 1
+        return yes * 2 > self.votes_per_candidate

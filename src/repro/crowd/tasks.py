@@ -1,0 +1,68 @@
+"""Crowd task execution: plurality-voted verification of predictions."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.crowd.budget import CrowdBudget
+from repro.crowd.worker import WorkerPool
+
+
+@dataclass(frozen=True)
+class CrowdVerdict:
+    """Aggregated crowd answer for one (item, predicted type) pair."""
+
+    item_id: str
+    predicted_type: str
+    approved: bool
+    yes_votes: int
+    total_votes: int
+
+
+class VerificationTask:
+    """Runs (item, predicted type) verification through the crowd.
+
+    Section 3.3: "Given a pair <product item, final predicted product type>,
+    we ask the crowd if the final predicted product type can indeed be a
+    good product type for the given product item."
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        budget: Optional[CrowdBudget] = None,
+        votes_per_pair: int = 3,
+        seed: int = 0,
+    ):
+        if votes_per_pair < 1 or votes_per_pair % 2 == 0:
+            raise ValueError(
+                f"votes_per_pair must be odd and >= 1, got {votes_per_pair}"
+            )
+        self.pool = pool
+        self.budget = budget
+        self.votes_per_pair = votes_per_pair
+        self.rng = random.Random(seed)
+
+    def verify_pair(self, item: ProductItem, predicted_type: str) -> CrowdVerdict:
+        """Plurality vote of ``votes_per_pair`` workers on one pair."""
+        if self.budget is not None:
+            self.budget.charge(self.votes_per_pair)
+        workers = self.pool.draw(self.votes_per_pair)
+        yes = sum(
+            1 for worker in workers if worker.answer(item, predicted_type, self.rng)
+        )
+        return CrowdVerdict(
+            item_id=item.item_id,
+            predicted_type=predicted_type,
+            approved=yes * 2 > self.votes_per_pair,
+            yes_votes=yes,
+            total_votes=self.votes_per_pair,
+        )
+
+    def verify_pairs(
+        self, pairs: Sequence[Tuple[ProductItem, str]]
+    ) -> List[CrowdVerdict]:
+        return [self.verify_pair(item, predicted) for item, predicted in pairs]

@@ -1,0 +1,69 @@
+"""Crowd workers: noisy oracles over the catalog's ground truth."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.catalog.types import ProductItem
+
+
+@dataclass
+class CrowdWorker:
+    """One worker with an accuracy level.
+
+    A worker answers "is ``predicted_type`` correct for ``item``?" truthfully
+    with probability ``accuracy``, otherwise gives the wrong answer. This is
+    the standard independent-error crowd model.
+    """
+
+    worker_id: str
+    accuracy: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {self.accuracy}")
+
+    def answer(self, item: ProductItem, predicted_type: str, rng: random.Random) -> bool:
+        truth = item.true_type == predicted_type
+        if rng.random() < self.accuracy:
+            return truth
+        return not truth
+
+
+class WorkerPool:
+    """A deterministic pool of workers with heterogeneous accuracy.
+
+    Accuracy is drawn uniformly from ``accuracy_range`` per worker at pool
+    construction — crowd platforms have good and bad workers, and plurality
+    voting is what makes the aggregate reliable.
+    """
+
+    def __init__(
+        self,
+        size: int = 30,
+        accuracy_range: Sequence[float] = (0.8, 0.98),
+        seed: int = 0,
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        low, high = accuracy_range
+        if not 0 <= low <= high <= 1:
+            raise ValueError(f"bad accuracy range {accuracy_range}")
+        self.rng = random.Random(seed)
+        self.workers: List[CrowdWorker] = [
+            CrowdWorker(
+                worker_id=f"worker-{i:04d}",
+                accuracy=low + (high - low) * self.rng.random(),
+            )
+            for i in range(size)
+        ]
+
+    def draw(self, count: int) -> List[CrowdWorker]:
+        """Sample ``count`` distinct workers for one task."""
+        if count > len(self.workers):
+            raise ValueError(
+                f"asked for {count} workers but the pool has {len(self.workers)}"
+            )
+        return self.rng.sample(self.workers, count)

@@ -1,0 +1,155 @@
+"""Rule-based and learned matchers over candidate pairs.
+
+Rule semantics (the section 5.3 question "executing these rules in any
+order will give us the same matching result?"): no-match rules veto first,
+then any firing match rule declares a match — which makes the outcome
+independent of rule order by construction, the property the paper's
+whitelist-before-blacklist design gives Chimera.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.em.records import EmDataset, Record
+from repro.em.rules import EmRule
+from repro.em.similarity import (
+    exact_match,
+    jaccard_3gram,
+    jaccard_tokens,
+    jaro_winkler,
+    normalized_levenshtein,
+)
+from repro.utils.stats import f1_score
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Precision/recall of a matcher against the gold pairs."""
+
+    precision: float
+    recall: float
+    predicted: int
+    gold: int
+
+    @property
+    def f1(self) -> float:
+        return f1_score(self.precision, self.recall)
+
+
+def score_matches(
+    predicted: Set[FrozenSet], gold: Set[FrozenSet]
+) -> MatchReport:
+    true_positive = len(predicted & gold)
+    precision = true_positive / len(predicted) if predicted else 1.0
+    recall = true_positive / len(gold) if gold else 1.0
+    return MatchReport(
+        precision=precision, recall=recall, predicted=len(predicted), gold=len(gold)
+    )
+
+
+class RuleBasedMatcher:
+    """Applies no-match rules (vetoes) then match rules to each pair."""
+
+    def __init__(self, rules: Sequence[EmRule]):
+        self.match_rules = [r for r in rules if not r.is_no_match]
+        self.no_match_rules = [r for r in rules if r.is_no_match]
+        if not self.match_rules:
+            raise ValueError("matcher needs at least one match rule")
+
+    def decide(self, a: Record, b: Record) -> bool:
+        for rule in self.no_match_rules:
+            if rule.fires(a, b):
+                return False
+        return any(rule.fires(a, b) for rule in self.match_rules)
+
+    def match(self, pairs: Sequence[Tuple[Record, Record]]) -> Set[FrozenSet]:
+        return {
+            frozenset((a.record_id, b.record_id))
+            for a, b in pairs
+            if self.decide(a, b)
+        }
+
+    def evaluate(
+        self, pairs: Sequence[Tuple[Record, Record]], dataset: EmDataset
+    ) -> MatchReport:
+        return score_matches(self.match(pairs), dataset.gold_matches)
+
+
+def pair_features(a: Record, b: Record) -> np.ndarray:
+    """Similarity feature vector for the learned baseline."""
+    title_a, title_b = a.get("title"), b.get("title")
+    features = [
+        jaccard_tokens(title_a, title_b),
+        jaccard_3gram(title_a, title_b),
+        normalized_levenshtein(title_a, title_b),
+        jaro_winkler(title_a[:24], title_b[:24]),
+        exact_match(a.get("type"), b.get("type")),
+    ]
+    shared_attrs = (set(a.fields) & set(b.fields)) - {"title", "type"}
+    agreements = [
+        exact_match(a.get(attr), b.get(attr)) for attr in sorted(shared_attrs)
+    ]
+    features.append(sum(agreements) / len(agreements) if agreements else 0.5)
+    return np.array(features)
+
+
+class LearnedMatcher:
+    """Logistic regression on similarity features — the learning baseline."""
+
+    def __init__(self, epochs: int = 300, learning_rate: float = 0.5, threshold: float = 0.5):
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.threshold = threshold
+        self._weights: Optional[np.ndarray] = None
+        self._bias = 0.0
+
+    def fit(
+        self, pairs: Sequence[Tuple[Record, Record]], labels: Sequence[bool]
+    ) -> "LearnedMatcher":
+        if len(pairs) != len(labels):
+            raise ValueError("pairs and labels must align")
+        if not pairs:
+            raise ValueError("cannot fit on zero pairs")
+        features = np.array([pair_features(a, b) for a, b in pairs])
+        targets = np.array([1.0 if label else 0.0 for label in labels])
+        # Candidate pairs are heavily non-match; weight classes evenly so the
+        # matcher does not collapse to "never match".
+        positives = targets.sum()
+        negatives = len(targets) - positives
+        if positives == 0 or negatives == 0:
+            raise ValueError("training pairs must include both classes")
+        sample_weight = np.where(targets == 1.0, len(targets) / (2 * positives),
+                                 len(targets) / (2 * negatives))
+        weights = np.zeros(features.shape[1])
+        bias = 0.0
+        for _ in range(self.epochs):
+            logits = features @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            error = (probabilities - targets) * sample_weight
+            weights -= self.learning_rate * (features.T @ error) / len(targets)
+            bias -= self.learning_rate * error.mean()
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def decide(self, a: Record, b: Record) -> bool:
+        if self._weights is None:
+            raise RuntimeError("LearnedMatcher is not fitted")
+        logit = pair_features(a, b) @ self._weights + self._bias
+        return 1.0 / (1.0 + np.exp(-logit)) >= self.threshold
+
+    def match(self, pairs: Sequence[Tuple[Record, Record]]) -> Set[FrozenSet]:
+        return {
+            frozenset((a.record_id, b.record_id))
+            for a, b in pairs
+            if self.decide(a, b)
+        }
+
+    def evaluate(
+        self, pairs: Sequence[Tuple[Record, Record]], dataset: EmDataset
+    ) -> MatchReport:
+        return score_matches(self.match(pairs), dataset.gold_matches)

@@ -1,0 +1,121 @@
+"""EM records and the synthetic duplicate-pair generator.
+
+Production EM matches product feeds from different vendors describing the
+same items with different strings. The generator reproduces that: for each
+catalog entity it emits one or more *variant* records — word drops, typos,
+abbreviation, attribute loss — and the gold standard records which variants
+co-refer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.generator import CatalogGenerator
+from repro.catalog.types import ProductItem
+
+
+@dataclass(frozen=True)
+class Record:
+    """One EM-side record (a vendor's description of a product)."""
+
+    record_id: str
+    fields: Dict[str, str] = field(default_factory=dict)
+    entity_id: str = ""  # ground truth; matchers must not read it
+
+    def get(self, name: str, default: str = "") -> str:
+        return self.fields.get(name, default)
+
+
+@dataclass
+class EmDataset:
+    """Records plus the gold co-reference pairs."""
+
+    records: List[Record]
+    gold_matches: Set[FrozenSet] = field(default_factory=set)
+
+    def is_match(self, a: Record, b: Record) -> bool:
+        return frozenset((a.record_id, b.record_id)) in self.gold_matches
+
+
+_ABBREVIATIONS = {
+    "laptop": "lptp",
+    "computer": "cmptr",
+    "wireless": "wless",
+    "bluetooth": "bt",
+    "stainless": "ss",
+    "genuine": "gen",
+    "premium": "prem",
+}
+
+
+def _perturb_title(title: str, rng: random.Random, strength: float) -> str:
+    """Vendor-style title mangling: drops, swaps, abbreviations, typos."""
+    words = title.split()
+    mutated: List[str] = []
+    for word in words:
+        roll = rng.random()
+        if roll < 0.08 * strength and len(words) > 3:
+            continue  # drop the word
+        if roll < 0.16 * strength and word in _ABBREVIATIONS:
+            mutated.append(_ABBREVIATIONS[word])
+            continue
+        if roll < 0.24 * strength and len(word) > 4:
+            # one-character typo
+            position = rng.randrange(1, len(word) - 1)
+            word = word[:position] + word[position + 1 :]
+        mutated.append(word)
+    if len(mutated) > 3 and rng.random() < 0.2 * strength:
+        index = rng.randrange(len(mutated) - 1)
+        mutated[index], mutated[index + 1] = mutated[index + 1], mutated[index]
+    return " ".join(mutated) if mutated else title
+
+
+def generate_em_dataset(
+    generator: CatalogGenerator,
+    n_entities: int = 300,
+    duplicate_rate: float = 0.6,
+    attribute_drop_rate: float = 0.25,
+    perturbation: float = 1.0,
+    seed: int = 0,
+) -> EmDataset:
+    """Build an EM workload from catalog items.
+
+    Each entity yields a base record; with probability ``duplicate_rate`` it
+    also yields a perturbed variant (different title string, possibly
+    missing attributes). Gold matches connect variants of the same entity.
+    """
+    if n_entities < 1:
+        raise ValueError(f"n_entities must be >= 1, got {n_entities}")
+    if not 0.0 <= duplicate_rate <= 1.0:
+        raise ValueError(f"duplicate_rate must be in [0, 1], got {duplicate_rate}")
+    rng = random.Random(seed)
+    records: List[Record] = []
+    gold: Set[FrozenSet] = set()
+    for index in range(n_entities):
+        item = generator.generate_item()
+        entity_id = f"entity-{index:05d}"
+        base_fields = {"title": item.title, "type": item.true_type}
+        base_fields.update({k: v for k, v in item.attributes.items()})
+        base = Record(
+            record_id=f"rec-{len(records):06d}", fields=dict(base_fields), entity_id=entity_id
+        )
+        records.append(base)
+        if rng.random() < duplicate_rate:
+            variant_fields = dict(base_fields)
+            variant_fields["title"] = _perturb_title(item.title, rng, perturbation)
+            for attr in list(variant_fields):
+                # Title and type survive every feed; other attributes are
+                # dropped vendor-style.
+                if attr not in ("title", "type") and rng.random() < attribute_drop_rate:
+                    del variant_fields[attr]
+            variant = Record(
+                record_id=f"rec-{len(records):06d}",
+                fields=variant_fields,
+                entity_id=entity_id,
+            )
+            records.append(variant)
+            gold.add(frozenset((base.record_id, variant.record_id)))
+    return EmDataset(records=records, gold_matches=gold)

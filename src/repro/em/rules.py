@@ -1,0 +1,144 @@
+"""The EM rule language.
+
+The paper's example (section 6):
+
+    [a.isbn = b.isbn] and [jaccard.3g(a.title, b.title) >= 0.8] => a ~ b
+
+Rules here are conjunctions of predicates over a record pair, concluding
+``match`` or ``no_match`` (no-match rules are the EM analogue of blacklist
+rules). The textual form accepted by :func:`parse_em_rule`:
+
+    a.isbn = b.isbn & jaccard_3g(a.title, b.title) >= 0.8 -> match
+    lev_norm(a.title, b.title) < 0.3 -> no_match
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import RuleParseError
+from repro.em.records import Record
+from repro.em.similarity import SIMILARITY_FUNCTIONS
+
+_FIELD_EQ = re.compile(r"^a\.(\w+)\s*=\s*b\.(\w+)$")
+_SIM_CLAUSE = re.compile(
+    r"^(\w+)\(\s*a\.(\w+)\s*,\s*b\.(\w+)\s*\)\s*(<=|>=|<|>|=)\s*(\d+(?:\.\d+)?)$"
+)
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class EmPredicate:
+    """One conjunct: a test over a record pair."""
+
+    description: str
+    test: Callable[[Record, Record], bool]
+
+    def __call__(self, a: Record, b: Record) -> bool:
+        return self.test(a, b)
+
+
+class EmRule:
+    """A conjunction of predicates concluding match or no_match."""
+
+    def __init__(
+        self,
+        predicates: Sequence[EmPredicate],
+        decision: str,
+        rule_id: Optional[str] = None,
+        author: str = "analyst",
+    ):
+        if not predicates:
+            raise ValueError("an EM rule needs at least one predicate")
+        if decision not in ("match", "no_match"):
+            raise ValueError(f"decision must be 'match' or 'no_match', got {decision!r}")
+        self.predicates = tuple(predicates)
+        self.decision = decision
+        self.rule_id = rule_id or f"em-{next(_rule_ids):05d}"
+        self.author = author
+
+    @property
+    def is_no_match(self) -> bool:
+        return self.decision == "no_match"
+
+    def fires(self, a: Record, b: Record) -> bool:
+        return all(predicate(a, b) for predicate in self.predicates)
+
+    def describe(self) -> str:
+        condition = " & ".join(p.description for p in self.predicates)
+        return f"{self.rule_id}: {condition} -> {self.decision}"
+
+    def __repr__(self) -> str:
+        return f"<EmRule {self.describe()}>"
+
+
+def _field_equality(field_a: str, field_b: str) -> EmPredicate:
+    def test(a: Record, b: Record) -> bool:
+        left, right = a.get(field_a), b.get(field_b)
+        # Missing attributes never satisfy an equality (a vendor feed
+        # without ISBN cannot claim an ISBN match).
+        return bool(left) and bool(right) and left.strip().lower() == right.strip().lower()
+
+    return EmPredicate(description=f"a.{field_a} = b.{field_b}", test=test)
+
+
+def _similarity_clause(
+    function_name: str, field_a: str, field_b: str, op: str, threshold: float, source: str
+) -> EmPredicate:
+    try:
+        similarity = SIMILARITY_FUNCTIONS[function_name]
+    except KeyError:
+        raise RuleParseError(
+            source,
+            f"unknown similarity {function_name!r}; known: {sorted(SIMILARITY_FUNCTIONS)}",
+        ) from None
+    comparators = {
+        "<": lambda v: v < threshold,
+        ">": lambda v: v > threshold,
+        "<=": lambda v: v <= threshold,
+        ">=": lambda v: v >= threshold,
+        "=": lambda v: v == threshold,
+    }
+    compare = comparators[op]
+
+    def test(a: Record, b: Record) -> bool:
+        return compare(similarity(a.get(field_a), b.get(field_b)))
+
+    return EmPredicate(
+        description=f"{function_name}(a.{field_a}, b.{field_b}) {op} {threshold:g}",
+        test=test,
+    )
+
+
+def parse_em_rule(source: str, **metadata) -> EmRule:
+    """Parse one EM rule line (see module docstring for the grammar)."""
+    if "->" not in source:
+        raise RuleParseError(source, "missing '->'")
+    condition, _, decision = source.rpartition("->")
+    decision = decision.strip().lower()
+    if decision in ("a ~ b", "a~b"):
+        decision = "match"
+    if decision not in ("match", "no_match"):
+        raise RuleParseError(source, f"decision must be match/no_match, got {decision!r}")
+    predicates: List[EmPredicate] = []
+    for clause in condition.split(" & "):
+        clause = clause.strip().strip("[]").strip()
+        if not clause:
+            raise RuleParseError(source, "empty clause")
+        eq = _FIELD_EQ.match(clause)
+        if eq:
+            predicates.append(_field_equality(eq.group(1), eq.group(2)))
+            continue
+        sim = _SIM_CLAUSE.match(clause)
+        if sim:
+            predicates.append(_similarity_clause(
+                sim.group(1), sim.group(2), sim.group(3), sim.group(4),
+                float(sim.group(5)), source,
+            ))
+            continue
+        raise RuleParseError(source, f"cannot parse clause {clause!r}")
+    return EmRule(predicates, decision, **metadata)

@@ -1,0 +1,120 @@
+"""String similarity functions used by EM rules."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.utils.text import char_ngrams, tokenize
+
+
+def jaccard_tokens(a: str, b: str) -> float:
+    """Jaccard similarity over word tokens.
+
+    >>> jaccard_tokens("red wool hat", "wool hat")
+    0.6666666666666666
+    """
+    set_a, set_b = set(tokenize(a)), set(tokenize(b))
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def jaccard_3gram(a: str, b: str) -> float:
+    """Jaccard over character 3-grams — the paper's ``jaccard.3g``."""
+    set_a, set_b = set(char_ngrams(a, 3)), set(char_ngrams(b, 3))
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def levenshtein(a: str, b: str, cutoff: Optional[int] = None) -> int:
+    """Edit distance with an optional early-exit cutoff.
+
+    >>> levenshtein("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if cutoff is not None and len(b) - len(a) > cutoff:
+        return cutoff + 1
+    previous = list(range(len(a) + 1))
+    for row, char_b in enumerate(b, start=1):
+        current = [row]
+        best = row
+        for col, char_a in enumerate(a, start=1):
+            cost = 0 if char_a == char_b else 1
+            value = min(previous[col] + 1, current[col - 1] + 1, previous[col - 1] + cost)
+            current.append(value)
+            best = min(best, value)
+        if cutoff is not None and best > cutoff:
+            return cutoff + 1
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """1 - distance/max_len, in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity (common for names/short strings)."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    match_window = max(len(a), len(b)) // 2 - 1
+    match_window = max(match_window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(b))
+        for j in range(start, end):
+            if not b_flags[j] and b[j] == char_a:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i in range(len(a)):
+        if a_flags[i]:
+            while not b_flags[k]:
+                k += 1
+            if a[i] != b[k]:
+                transpositions += 1
+            k += 1
+    transpositions //= 2
+    jaro = (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def exact_match(a: str, b: str) -> float:
+    """1.0 on (case-insensitive, stripped) equality, else 0.0."""
+    return 1.0 if a.strip().lower() == b.strip().lower() else 0.0
+
+SIMILARITY_FUNCTIONS = {
+    "exact": exact_match,
+    "jaccard": jaccard_tokens,
+    "jaccard_3g": jaccard_3gram,
+    "jaro_winkler": jaro_winkler,
+    "lev_norm": normalized_levenshtein,
+}

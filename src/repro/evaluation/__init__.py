@@ -1,0 +1,39 @@
+"""Rule-quality evaluation (section 4, "Rule Quality Evaluation").
+
+Three methods, each with the cost/coverage trade-offs the paper describes:
+
+1. :class:`SharedValidationSetEvaluator` — one labeled validation set S
+   estimates every rule it happens to touch; great for head rules, blind to
+   tail rules.
+2. :class:`PerRuleCrowdEvaluator` — a crowd sample per rule, exploiting
+   coverage overlap so one verified item serves every rule that covers it
+   (the [18]/Corleone idea); accurate but costly at rule scale.
+3. :class:`ModuleLevelEvaluator` — give up on individual rules; estimate a
+   whole module's precision from one sample.
+
+Plus :class:`ImpactTracker` (section 5.3): spend the limited crowd budget on
+impactful rules only, and alert when an un-evaluated rule becomes impactful.
+"""
+
+from repro.evaluation.impact import ImpactAlert, ImpactTracker
+from repro.evaluation.metrics import RuleQuality, rule_quality, ruleset_quality
+from repro.evaluation.module_level import ModuleEstimate, ModuleLevelEvaluator
+from repro.evaluation.per_rule import PerRuleCrowdEvaluator, PerRuleEstimate
+from repro.evaluation.validation_set import (
+    SharedValidationSetEvaluator,
+    ValidationSetReport,
+)
+
+__all__ = [
+    "ImpactAlert",
+    "ImpactTracker",
+    "ModuleEstimate",
+    "ModuleLevelEvaluator",
+    "PerRuleCrowdEvaluator",
+    "PerRuleEstimate",
+    "RuleQuality",
+    "SharedValidationSetEvaluator",
+    "ValidationSetReport",
+    "rule_quality",
+    "ruleset_quality",
+]

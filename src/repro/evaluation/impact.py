@@ -1,0 +1,83 @@
+"""Impact tracking (section 5.3, "Rule Evaluation").
+
+"A possible direction is to use the limited crowdsourcing budget to
+evaluate only the most impactful rules (i.e., those that apply to most data
+items). We then track all rules, and if an un-evaluated non-impactful rule
+becomes impactful, then we alert the analyst."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule
+
+
+@dataclass(frozen=True)
+class ImpactAlert:
+    """Raised (returned) when an un-evaluated rule crosses the impact bar."""
+
+    rule_id: str
+    applications: int
+    threshold: int
+    batch_id: str
+
+
+class ImpactTracker:
+    """Counts rule applications across batches and surfaces alerts."""
+
+    def __init__(self, impact_threshold: int = 50):
+        if impact_threshold < 1:
+            raise ValueError(f"impact_threshold must be >= 1, got {impact_threshold}")
+        self.impact_threshold = impact_threshold
+        self.applications: Dict[str, int] = defaultdict(int)
+        self.evaluated: Set[str] = set()
+        self.alerts: List[ImpactAlert] = []
+
+    def mark_evaluated(self, rule_id: str) -> None:
+        self.evaluated.add(rule_id)
+
+    def is_impactful(self, rule_id: str) -> bool:
+        return self.applications[rule_id] >= self.impact_threshold
+
+    def record_batch(
+        self, rules: Sequence[Rule], items: Sequence[ProductItem], batch_id: str = ""
+    ) -> List[ImpactAlert]:
+        """Count applications in a batch; return new alerts.
+
+        An alert fires the first time an un-evaluated rule's cumulative
+        application count crosses the threshold.
+        """
+        new_alerts: List[ImpactAlert] = []
+        for rule in rules:
+            before = self.applications[rule.rule_id]
+            hits = sum(1 for item in items if rule.matches(item))
+            after = before + hits
+            self.applications[rule.rule_id] = after
+            crossed = before < self.impact_threshold <= after
+            if crossed and rule.rule_id not in self.evaluated:
+                alert = ImpactAlert(
+                    rule_id=rule.rule_id,
+                    applications=after,
+                    threshold=self.impact_threshold,
+                    batch_id=batch_id,
+                )
+                new_alerts.append(alert)
+        self.alerts.extend(new_alerts)
+        return new_alerts
+
+    def evaluation_worklist(self, budget_rules: int) -> List[str]:
+        """The most impactful un-evaluated rules, up to ``budget_rules``.
+
+        This is the "spend the crowd budget on impactful rules" policy.
+        """
+        candidates = [
+            (count, rule_id)
+            for rule_id, count in self.applications.items()
+            if rule_id not in self.evaluated
+        ]
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [rule_id for _, rule_id in candidates[:budget_rules]]

@@ -1,0 +1,74 @@
+"""Method 3: module-level evaluation.
+
+"The third method gives up the goal of evaluating the individual rules ...
+given a rule-based module M to evaluate, this method uses crowdsourcing to
+evaluate a sample taken from those items touched by M."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.ruleset import RuleSet
+from repro.crowd.tasks import VerificationTask
+from repro.utils.stats import wilson_interval
+
+
+@dataclass(frozen=True)
+class ModuleEstimate:
+    """Crowd estimate of a whole rule module's precision."""
+
+    module_name: str
+    precision: float
+    low: float
+    high: float
+    sample_size: int
+    items_touched: int
+    crowd_answers: int
+
+
+class ModuleLevelEvaluator:
+    """Samples from the module's touched items and verifies the sample."""
+
+    def __init__(self, task: VerificationTask, sample_size: int = 100, seed: int = 0):
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self.task = task
+        self.sample_size = sample_size
+        self.rng = random.Random(seed)
+
+    def evaluate(
+        self, module: RuleSet, items: Sequence[ProductItem]
+    ) -> Optional[ModuleEstimate]:
+        """Estimate the module's precision; None when it touches nothing."""
+        touched: List[Tuple[ProductItem, str]] = []
+        for item in items:
+            verdict = module.apply(item)
+            best = verdict.best()
+            if best is not None:
+                touched.append((item, best.label))
+        if not touched:
+            return None
+        sample = touched
+        if len(touched) > self.sample_size:
+            sample = self.rng.sample(touched, self.sample_size)
+        approved = 0
+        answers = 0
+        for item, label in sample:
+            verdict = self.task.verify_pair(item, label)
+            answers += self.task.votes_per_pair
+            if verdict.approved:
+                approved += 1
+        low, high = wilson_interval(approved, len(sample))
+        return ModuleEstimate(
+            module_name=module.name,
+            precision=approved / len(sample),
+            low=low,
+            high=high,
+            sample_size=len(sample),
+            items_touched=len(touched),
+            crowd_answers=answers,
+        )

@@ -1,0 +1,137 @@
+"""Method 2: per-rule crowd sampling with overlap exploitation.
+
+"[18] proposes having the crowd evaluate a sample taken from [the items a
+rule touches] ... To address [cost], [18] exploits the overlap in the
+coverage of the rules ... we can sample in A ∩ B first (and outside that if
+necessary), then use the result to evaluate both RA and RB."
+
+The overlap exploitation is implemented item-centrically: repeatedly verify
+the item that serves the most rules still short of their per-rule sample
+quota, so one crowd answer counts toward every rule covering that item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule
+from repro.crowd.tasks import VerificationTask
+from repro.utils.stats import wilson_interval
+
+
+@dataclass(frozen=True)
+class PerRuleEstimate:
+    """Crowd estimate of one rule's precision."""
+
+    rule_id: str
+    precision: float
+    low: float
+    high: float
+    sample_size: int
+
+
+@dataclass
+class PerRuleReport:
+    estimates: Dict[str, PerRuleEstimate] = field(default_factory=dict)
+    unevaluable: List[str] = field(default_factory=list)
+    items_verified: int = 0
+    crowd_answers: int = 0
+
+    def cost_per_rule(self) -> float:
+        evaluated = len(self.estimates)
+        return self.crowd_answers / evaluated if evaluated else float("inf")
+
+
+class PerRuleCrowdEvaluator:
+    """Evaluates each rule from crowd-verified samples of its coverage."""
+
+    def __init__(
+        self,
+        task: VerificationTask,
+        sample_per_rule: int = 10,
+        exploit_overlap: bool = True,
+    ):
+        if sample_per_rule < 1:
+            raise ValueError(f"sample_per_rule must be >= 1, got {sample_per_rule}")
+        self.task = task
+        self.sample_per_rule = sample_per_rule
+        self.exploit_overlap = exploit_overlap
+
+    def evaluate(
+        self, rules: Sequence[Rule], items: Sequence[ProductItem]
+    ) -> PerRuleReport:
+        report = PerRuleReport()
+        coverage: Dict[str, List[int]] = {}
+        covering: Dict[int, List[Rule]] = {}
+        for rule in rules:
+            rows = [i for i, item in enumerate(items) if rule.matches(item)]
+            coverage[rule.rule_id] = rows
+            for row in rows:
+                covering.setdefault(row, []).append(rule)
+
+        needed: Dict[str, int] = {
+            rule.rule_id: min(self.sample_per_rule, len(coverage[rule.rule_id]))
+            for rule in rules
+        }
+        results: Dict[str, List[bool]] = {rule.rule_id: [] for rule in rules}
+        verified_rows: Set[int] = set()
+        # One crowd verification per distinct (item, claimed type) — the
+        # answer is shared by every rule asserting that type on that item.
+        verdict_cache: Dict[Tuple[int, str], bool] = {}
+
+        def verify_row(row: int) -> None:
+            """Crowd-verify one item, crediting every rule covering it."""
+            item = items[row]
+            for rule in covering.get(row, ()):
+                if len(results[rule.rule_id]) >= needed[rule.rule_id]:
+                    continue
+                key = (row, rule.target_type)
+                if key not in verdict_cache:
+                    verdict = self.task.verify_pair(item, rule.target_type)
+                    report.crowd_answers += self.task.votes_per_pair
+                    verdict_cache[key] = verdict.approved
+                results[rule.rule_id].append(verdict_cache[key])
+            verified_rows.add(row)
+            report.items_verified += 1
+
+        if self.exploit_overlap:
+            while True:
+                best_row, best_gain = None, 0
+                for row, row_rules in covering.items():
+                    if row in verified_rows:
+                        continue
+                    gain = sum(
+                        1
+                        for rule in row_rules
+                        if len(results[rule.rule_id]) < needed[rule.rule_id]
+                    )
+                    if gain > best_gain or (gain == best_gain and gain > 0 and row < best_row):
+                        best_row, best_gain = row, gain
+                if best_row is None or best_gain == 0:
+                    break
+                verify_row(best_row)
+        else:
+            for rule in rules:
+                for row in coverage[rule.rule_id]:
+                    if len(results[rule.rule_id]) >= needed[rule.rule_id]:
+                        break
+                    if row not in verified_rows:
+                        verify_row(row)
+
+        for rule in rules:
+            answers = results[rule.rule_id]
+            if not answers:
+                report.unevaluable.append(rule.rule_id)
+                continue
+            approved = sum(answers)
+            low, high = wilson_interval(approved, len(answers))
+            report.estimates[rule.rule_id] = PerRuleEstimate(
+                rule_id=rule.rule_id,
+                precision=approved / len(answers),
+                low=low,
+                high=high,
+                sample_size=len(answers),
+            )
+        return report

@@ -1,0 +1,73 @@
+"""Method 1: a single shared validation set.
+
+"The first method uses a single validation set S ... to estimate the
+precision of each individual rule. ... S can only help evaluate rules that
+touch items in S. In particular, it helps evaluate 'head' rules ... But it
+often cannot help evaluate 'tail' rules."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.generator import LabeledTitle
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule
+from repro.utils.stats import wilson_interval
+
+
+@dataclass
+class ValidationSetReport:
+    """Per-rule estimates plus the head/tail blind-spot accounting."""
+
+    estimates: Dict[str, float] = field(default_factory=dict)
+    touches: Dict[str, int] = field(default_factory=dict)
+    evaluable_rules: List[str] = field(default_factory=list)
+    blind_rules: List[str] = field(default_factory=list)
+    labeling_cost: int = 0
+
+    @property
+    def blind_fraction(self) -> float:
+        total = len(self.evaluable_rules) + len(self.blind_rules)
+        return len(self.blind_rules) / total if total else 0.0
+
+
+class SharedValidationSetEvaluator:
+    """Builds S once (at labeling cost |S|) and scores every rule against it."""
+
+    def __init__(self, min_touches: int = 5):
+        if min_touches < 1:
+            raise ValueError(f"min_touches must be >= 1, got {min_touches}")
+        self.min_touches = min_touches
+
+    def evaluate(
+        self,
+        rules: Sequence[Rule],
+        validation_items: Sequence[ProductItem],
+        validation_labels: Sequence[str],
+    ) -> ValidationSetReport:
+        """Estimate precision of each rule from the labeled set.
+
+        ``validation_labels`` are the (possibly imperfect) labels the team
+        paid for — pass ``[item.true_type for item in items]`` for an oracle
+        set, or analyst/crowd labels for a realistic one.
+        """
+        if len(validation_items) != len(validation_labels):
+            raise ValueError("items and labels must align")
+        report = ValidationSetReport(labeling_cost=len(validation_items))
+        for rule in rules:
+            correct = 0
+            touched = 0
+            for item, label in zip(validation_items, validation_labels):
+                if rule.matches(item):
+                    touched += 1
+                    if label == rule.target_type:
+                        correct += 1
+            report.touches[rule.rule_id] = touched
+            if touched >= self.min_touches:
+                report.estimates[rule.rule_id] = correct / touched
+                report.evaluable_rules.append(rule.rule_id)
+            else:
+                report.blind_rules.append(rule.rule_id)
+        return report

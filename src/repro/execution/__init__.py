@@ -1,0 +1,31 @@
+"""Rule execution and optimization (sections 4 and 5.3).
+
+"A major challenge therefore is to scale up the execution of tens of
+thousands to hundreds of thousands of rules. A possible solution is to
+index the rules so that given a particular data item, we can quickly locate
+and execute only a (hopefully) small set of rules ... Another solution is
+to execute the rules in parallel on a cluster of machines."
+
+* :class:`RuleIndex` — inverted index rules-by-anchor-token;
+* :class:`DataIndex` — index *items* by token so a rule under development
+  can be evaluated against only its plausible matches;
+* :class:`NaiveExecutor` / :class:`IndexedExecutor` — measured executors;
+* :class:`PartitionedExecutor` — shard items across simulated cluster
+  workers (map/reduce over serialized rules).
+"""
+
+from repro.execution.data_index import DataIndex
+from repro.execution.executor import ExecutionStats, IndexedExecutor, NaiveExecutor
+from repro.execution.parallel import PartitionedExecutor, ShardReport, critical_path
+from repro.execution.rule_index import RuleIndex
+
+__all__ = [
+    "DataIndex",
+    "ExecutionStats",
+    "IndexedExecutor",
+    "NaiveExecutor",
+    "PartitionedExecutor",
+    "RuleIndex",
+    "ShardReport",
+    "critical_path",
+]

@@ -1,0 +1,67 @@
+"""Inverted index over data items, for fast rule development (section 4).
+
+"When the analyst is still developing a rule R (e.g., debugging or refining
+it) ... the analyst often needs to run variations of rule R repeatedly on a
+development data set D ... a solution direction is to index the data set D
+for efficient rule execution."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule, SequenceRule
+from repro.utils.text import tokenize
+
+
+class DataIndex:
+    """token -> item rows, consulted through each rule's anchor contract."""
+
+    def __init__(self, items: Sequence[ProductItem]):
+        self.items = list(items)
+        self._postings: Dict[str, Set[int]] = defaultdict(set)
+        for row, item in enumerate(self.items):
+            for token in set(tokenize(item.title, drop_stopwords=False)):
+                self._postings[token].add(row)
+                # Post singular forms too, so "ring" anchors find "rings".
+                if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+                    self._postings[token[:-1]].add(row)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def candidate_rows(self, rule: Rule) -> List[int]:
+        """Rows that might match ``rule`` (superset; sorted).
+
+        Sequence rules intersect their tokens' postings; regex rules union
+        their anchors'. Rules without anchors scan everything.
+        """
+        if isinstance(rule, SequenceRule):
+            postings = [self._postings.get(t, set()) for t in rule.token_sequence]
+            if not postings:
+                return []
+            rows = set.intersection(*postings)
+            return sorted(rows)
+        anchors = rule.anchor_literals()
+        if not anchors:
+            return list(range(len(self.items)))
+        rows: Set[int] = set()
+        for anchor in anchors:
+            rows |= self._postings.get(anchor, set())
+        return sorted(rows)
+
+    def matches(self, rule: Rule) -> List[ProductItem]:
+        """Items actually matching ``rule``, via the index."""
+        return [
+            self.items[row]
+            for row in self.candidate_rows(rule)
+            if rule.matches(self.items[row])
+        ]
+
+    def candidate_fraction(self, rule: Rule) -> float:
+        """How much of the data set the index lets the rule skip."""
+        if not self.items:
+            return 0.0
+        return len(self.candidate_rows(rule)) / len(self.items)

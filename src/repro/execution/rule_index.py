@@ -1,0 +1,113 @@
+"""Inverted index over rules: token -> rules that could match.
+
+Soundness contract per rule class:
+
+* regex rules expose *any-of* anchors (every matching title contains at
+  least one anchor token), so the rule is posted under **all** anchors;
+* sequence rules require *all* their tokens, so posting under **one**
+  chosen token (the rarest, given corpus statistics) is sound and keeps
+  posting lists short;
+* rules with no extractable anchors (or non-title rules like attribute
+  rules) fall into an always-check residue list.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule, SequenceRule
+from repro.utils.text import tokenize
+
+
+class RuleIndex:
+    """Token-anchored rule lookup."""
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        token_frequency: Optional[Dict[str, int]] = None,
+    ):
+        self._postings: Dict[str, List[Rule]] = defaultdict(list)
+        self._residue: List[Rule] = []
+        self._token_frequency = dict(token_frequency or {})
+        self._size = 0
+        for rule in rules:
+            self.add(rule)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def residue_count(self) -> int:
+        return len(self._residue)
+
+    def add(self, rule: Rule) -> None:
+        self._size += 1
+        if isinstance(rule, SequenceRule):
+            anchor = self._rarest(rule.token_sequence)
+            self._postings[anchor].append(rule)
+            return
+        anchors = rule.anchor_literals()
+        if not anchors:
+            self._residue.append(rule)
+            return
+        for anchor in anchors:
+            self._postings[anchor].append(rule)
+
+    def remove(self, rule_id: str) -> bool:
+        """Remove a rule from the index; True if it was present.
+
+        Rule bases churn constantly (analysts disable and retire rules);
+        the index must follow without a full rebuild.
+        """
+        removed = False
+        for postings in self._postings.values():
+            before = len(postings)
+            postings[:] = [rule for rule in postings if rule.rule_id != rule_id]
+            removed = removed or len(postings) != before
+        before = len(self._residue)
+        self._residue = [rule for rule in self._residue if rule.rule_id != rule_id]
+        removed = removed or len(self._residue) != before
+        if removed:
+            self._size -= 1
+        return removed
+
+    def _rarest(self, tokens: Sequence[str]) -> str:
+        """The corpus-rarest token (longest as fallback heuristic)."""
+        if self._token_frequency:
+            return min(
+                tokens, key=lambda t: (self._token_frequency.get(t, 0), t)
+            )
+        return max(tokens, key=lambda t: (len(t), t))
+
+    def candidates(self, item: ProductItem) -> List[Rule]:
+        """Rules that might match ``item`` (superset of actual matches).
+
+        Matching against anchors uses the item's tokens *and* their crude
+        singular forms so plural-tolerant anchors like "ring" hit "rings".
+        """
+        tokens = set(tokenize(item.title, drop_stopwords=False))
+        expanded: Set[str] = set(tokens)
+        for token in tokens:
+            if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+                expanded.add(token[:-1])
+        seen: Set[str] = set()
+        found: List[Rule] = []
+        for token in expanded:
+            for rule in self._postings.get(token, ()):
+                if rule.rule_id not in seen:
+                    seen.add(rule.rule_id)
+                    found.append(rule)
+        found.extend(self._residue)
+        return found
+
+    @staticmethod
+    def corpus_token_frequency(titles: Iterable[str]) -> Dict[str, int]:
+        """Helper: token document frequency over a reference corpus."""
+        frequency: Dict[str, int] = defaultdict(int)
+        for title in titles:
+            for token in set(tokenize(title)):
+                frequency[token] += 1
+        return dict(frequency)

@@ -1,0 +1,40 @@
+"""Information extraction substrate (section 6, "Information Extraction").
+
+Rule-based IE as the paper (and [8]) describe it in industry: regex
+extractors for weights/sizes/colors ("we found that instead of learning, it
+was easier to use regular expressions to capture the appearance patterns of
+such attributes"), dictionary-based brand extraction with approximate
+matching and context patterns, and normalization rules ("IBM", "IBM Inc.",
+"the Big Blue" -> "IBM Corporation"). A learned token tagger is the
+baseline the rules are compared against.
+"""
+
+from repro.ie.dict_builder import DictionaryBuilder, DictionaryCandidate
+from repro.ie.dictionary import DictionaryExtractor
+from repro.ie.extractors import (
+    Extraction,
+    RegexExtractor,
+    color_extractor,
+    size_extractor,
+    volume_extractor,
+    weight_extractor,
+)
+from repro.ie.normalize import NormalizationRules
+from repro.ie.pipeline import IEPipeline, IEReport
+from repro.ie.tagger import PerceptronTagger
+
+__all__ = [
+    "DictionaryBuilder",
+    "DictionaryCandidate",
+    "DictionaryExtractor",
+    "Extraction",
+    "IEPipeline",
+    "IEReport",
+    "NormalizationRules",
+    "PerceptronTagger",
+    "RegexExtractor",
+    "color_extractor",
+    "size_extractor",
+    "volume_extractor",
+    "weight_extractor",
+]

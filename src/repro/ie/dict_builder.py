@@ -1,0 +1,127 @@
+"""Dictionary building for IE rules (section 5.3).
+
+"In yet another project, we are examining how to help analysts quickly
+write dictionary-based rules for IE." The builder mines candidate
+dictionary entries from a corpus by context: phrases appearing after the
+same marker tokens as the seed entries ("brand: X", "by X") are candidates,
+ranked by how concentrated their occurrences are in marker contexts. The
+analyst (or crowd) confirms a page at a time, exactly like the §5.1 loop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.utils.text import normalize_text
+
+
+@dataclass(frozen=True)
+class DictionaryCandidate:
+    """A candidate dictionary entry with its evidence."""
+
+    phrase: str
+    marker_occurrences: int
+    total_occurrences: int
+
+    @property
+    def concentration(self) -> float:
+        """Share of occurrences that sit in marker contexts."""
+        if self.total_occurrences == 0:
+            return 0.0
+        return self.marker_occurrences / self.total_occurrences
+
+
+class DictionaryBuilder:
+    """Expands a seed dictionary from corpus context evidence."""
+
+    def __init__(
+        self,
+        corpus: Sequence[str],
+        seeds: Iterable[str],
+        markers: Sequence[str] = ("brand", "by"),
+        max_words: int = 2,
+        min_marker_occurrences: int = 2,
+    ):
+        cleaned_seeds = {normalize_text(seed) for seed in seeds if seed.strip()}
+        if not cleaned_seeds:
+            raise ValueError("dictionary builder needs at least one seed entry")
+        if max_words < 1:
+            raise ValueError(f"max_words must be >= 1, got {max_words}")
+        self.seeds = cleaned_seeds
+        self.markers = tuple(m.lower() for m in markers)
+        self.max_words = max_words
+        self.min_marker_occurrences = min_marker_occurrences
+        self._marker_counts: Counter = Counter()
+        self._total_counts: Counter = Counter()
+        self._scan(corpus)
+
+    def _scan(self, corpus: Sequence[str]) -> None:
+        for document in corpus:
+            raw_tokens = normalize_text(document).split()
+            tokens = [t.strip(".:,") for t in raw_tokens]
+            # A phrase may not cross a sentence boundary ("brand: apple.
+            # color: black" must not yield the candidate "apple color").
+            sentence_ends = {
+                index for index, raw in enumerate(raw_tokens)
+                if raw.endswith(".")
+            }
+            marker_positions = {
+                index for index, token in enumerate(tokens)
+                if token in self.markers
+            }
+            for length in range(1, self.max_words + 1):
+                for start in range(0, len(tokens) - length + 1):
+                    span = range(start, start + length)
+                    if any(index in sentence_ends for index in list(span)[:-1]):
+                        continue
+                    phrase = " ".join(tokens[start : start + length])
+                    if not phrase or phrase in self.seeds:
+                        continue
+                    self._total_counts[(length, phrase)] += 1
+                    if start - 1 in marker_positions:
+                        self._marker_counts[(length, phrase)] += 1
+
+    def candidates(self, top: int = 20) -> List[DictionaryCandidate]:
+        """Ranked candidates: concentrated-in-marker-context first."""
+        ranked: List[DictionaryCandidate] = []
+        for (length, phrase), marker_count in self._marker_counts.items():
+            if marker_count < self.min_marker_occurrences:
+                continue
+            total = self._total_counts[(length, phrase)]
+            ranked.append(DictionaryCandidate(
+                phrase=phrase,
+                marker_occurrences=marker_count,
+                total_occurrences=total,
+            ))
+        ranked.sort(key=lambda c: (-c.concentration, -c.marker_occurrences, c.phrase))
+        return ranked[:top]
+
+    def build(
+        self,
+        judge,
+        attribute: str,
+        pages: int = 5,
+        page_size: int = 10,
+    ) -> Set[str]:
+        """Confirm candidates page-by-page via ``judge`` (analyst or crowd).
+
+        ``judge`` needs a ``confirm_dictionary_entry(attribute, phrase) ->
+        bool`` method; accepted phrases join the seeds. Returns the final
+        dictionary (seeds + confirmed entries).
+        """
+        confirmed: Set[str] = set(self.seeds)
+        shown: Set[str] = set()
+        for _ in range(pages):
+            page = [
+                candidate for candidate in self.candidates(top=10_000)
+                if candidate.phrase not in shown and candidate.phrase not in confirmed
+            ][:page_size]
+            if not page:
+                break
+            for candidate in page:
+                shown.add(candidate.phrase)
+                if judge.confirm_dictionary_entry(attribute, candidate.phrase):
+                    confirmed.add(candidate.phrase)
+        return confirmed

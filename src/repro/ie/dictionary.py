@@ -1,0 +1,95 @@
+"""Dictionary-based extraction with approximate matching and context.
+
+Section 6: "a rule extracts a substring s of [title] t as the brand name of
+this product ... if (a) s approximately matches a string in a large given
+dictionary of brand names, and (b) the text surrounding s conforms to a
+pre-specified pattern (these patterns are observed and specified by the
+analysts)."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.em.similarity import levenshtein
+from repro.ie.extractors import Extraction
+from repro.utils.text import normalize_text
+
+
+class DictionaryExtractor:
+    """Extracts dictionary entries (approximately) appearing in text.
+
+    ``context_markers``, when given, require a marker token within
+    ``context_window`` tokens before the match (e.g. "brand", "by") —
+    the analysts' surrounding-text patterns. ``max_edits`` allows typo-
+    tolerant matching of single tokens.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        entries: Iterable[str],
+        max_edits: int = 1,
+        context_markers: Sequence[str] = (),
+        context_window: int = 2,
+        name: str = "",
+    ):
+        self.attribute = attribute
+        self.entries: Set[str] = {normalize_text(e) for e in entries if e.strip()}
+        if not self.entries:
+            raise ValueError("dictionary extractor needs at least one entry")
+        if max_edits < 0:
+            raise ValueError(f"max_edits must be non-negative, got {max_edits}")
+        self.max_edits = max_edits
+        self.context_markers = tuple(m.lower() for m in context_markers)
+        self.context_window = context_window
+        self.name = name or f"dict:{attribute}"
+        self._max_entry_words = max(len(e.split()) for e in self.entries)
+        # Short entries get exact matching only: edit distance 1 on a
+        # 2-3 char token ("hp", "lg") would match almost anything.
+        self._fuzzy_entries = {e for e in self.entries if len(e) >= 5}
+
+    def _matches_entry(self, phrase: str) -> Optional[str]:
+        if phrase in self.entries:
+            return phrase
+        if self.max_edits == 0:
+            return None
+        for entry in self._fuzzy_entries:
+            if abs(len(entry) - len(phrase)) <= self.max_edits and levenshtein(
+                phrase, entry, cutoff=self.max_edits
+            ) <= self.max_edits:
+                return entry
+        return None
+
+    def _context_ok(self, tokens: Sequence[str], start: int) -> bool:
+        if not self.context_markers:
+            return True
+        window = tokens[max(0, start - self.context_window) : start]
+        return any(token.strip(".:") in self.context_markers for token in window)
+
+    def extract(self, text: str) -> List[Extraction]:
+        """All dictionary hits (longest-phrase-first, non-overlapping)."""
+        tokens = [token.strip(".") for token in normalize_text(text).split()]
+        found: List[Extraction] = []
+        claimed: Set[int] = set()
+        for length in range(self._max_entry_words, 0, -1):
+            for start in range(0, len(tokens) - length + 1):
+                span = range(start, start + length)
+                if any(index in claimed for index in span):
+                    continue
+                phrase = " ".join(tokens[start : start + length])
+                entry = self._matches_entry(phrase)
+                if entry is None:
+                    continue
+                if not self._context_ok(tokens, start):
+                    continue
+                claimed.update(span)
+                found.append(Extraction(
+                    attribute=self.attribute,
+                    value=entry,
+                    start=start,
+                    end=start + length,
+                    extractor=self.name,
+                ))
+        found.sort(key=lambda e: e.start)
+        return found

@@ -1,0 +1,91 @@
+"""Regex attribute extractors (weights, sizes, colors, volumes)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Pattern, Sequence
+
+from repro.catalog.vocabulary import COLORS
+from repro.utils.text import normalize_text
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """One extracted attribute value with its span and provenance."""
+
+    attribute: str
+    value: str
+    start: int
+    end: int
+    extractor: str
+
+
+class RegexExtractor:
+    """A named regex with a value-bearing group, run over normalized text."""
+
+    def __init__(self, attribute: str, pattern: str, group: int = 0, name: str = ""):
+        self.attribute = attribute
+        self.name = name or f"regex:{attribute}"
+        try:
+            self._compiled: Pattern = re.compile(pattern)
+        except re.error as exc:
+            raise ValueError(f"invalid extractor regex {pattern!r}: {exc}") from exc
+        self.group = group
+
+    def extract(self, text: str) -> List[Extraction]:
+        normalized = normalize_text(text)
+        found: List[Extraction] = []
+        for match in self._compiled.finditer(normalized):
+            value = match.group(self.group)
+            if not value:
+                continue
+            found.append(Extraction(
+                attribute=self.attribute,
+                value=value.strip(),
+                start=match.start(self.group),
+                end=match.end(self.group),
+                extractor=self.name,
+            ))
+        return found
+
+
+def weight_extractor() -> RegexExtractor:
+    """Item weights: "12 lbs", "2.5 kg", "40 oz"."""
+    return RegexExtractor(
+        "weight",
+        r"\b(\d+(?:\.\d+)?\s*(?:lbs?|pounds?|oz|ounces?|kg|kilograms?|g|grams?))\b",
+        group=1,
+        name="regex:weight",
+    )
+
+
+def size_extractor() -> RegexExtractor:
+    """Sizes: "38x30", "15.6 inch", "size 9", "5x7", "xl"."""
+    return RegexExtractor(
+        "size",
+        r"\b(\d+(?:\.\d+)?\s*(?:x\s*\d+(?:\.\d+)?|inch(?:es)?|in\b)|size\s+\d+|x?xl|xs)\b",
+        group=1,
+        name="regex:size",
+    )
+
+
+def volume_extractor() -> RegexExtractor:
+    """Volumes: "5 quart", "500 ml", "1 gallon"."""
+    return RegexExtractor(
+        "volume",
+        r"\b(\d+(?:\.\d+)?\s*(?:quarts?|qt|ml|milliliters?|l\b|liters?|gallons?|fl\s*oz))\b",
+        group=1,
+        name="regex:volume",
+    )
+
+
+def color_extractor(colors: Sequence[str] = COLORS) -> RegexExtractor:
+    """Colors via a closed vocabulary."""
+    body = "|".join(sorted(colors, key=len, reverse=True))
+    return RegexExtractor(
+        "color",
+        rf"\b({body})\b",
+        group=1,
+        name="regex:color",
+    )

@@ -1,0 +1,66 @@
+"""Value normalization rules.
+
+Section 6: "Another set of rules normalizes the extracted brand names
+(e.g., converting 'IBM', 'IBM Inc.', and 'the Big Blue' all into 'IBM
+Corporation')."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.ie.extractors import Extraction
+from repro.utils.text import normalize_text
+
+
+def _variant_key(text: str) -> str:
+    """Normalization lookup key: lowercased, punctuation-free tokens, so
+    "IBM Inc." and "ibm inc" collide."""
+    return " ".join(
+        token for token in
+        (raw.strip(".") for raw in normalize_text(text).split())
+        if token
+    )
+
+
+class NormalizationRules:
+    """variant -> canonical value mapping, applied post-extraction."""
+
+    def __init__(self, mapping: Mapping[str, str] = ()):
+        self._canonical: Dict[str, str] = {}
+        for variant, canonical in dict(mapping).items():
+            self.add(variant, canonical)
+
+    def add(self, variant: str, canonical: str) -> None:
+        key = _variant_key(variant)
+        value = canonical.strip()
+        if not key or not value:
+            raise ValueError("both variant and canonical must be non-empty")
+        existing = self._canonical.get(key)
+        if existing is not None and existing != value:
+            raise ValueError(
+                f"conflicting normalization for {variant!r}: {existing!r} vs {value!r}"
+            )
+        self._canonical[key] = value
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+    def normalize_value(self, value: str) -> str:
+        return self._canonical.get(_variant_key(value), value)
+
+    def apply(self, extractions: Iterable[Extraction]) -> List[Extraction]:
+        normalized: List[Extraction] = []
+        for extraction in extractions:
+            canonical = self.normalize_value(extraction.value)
+            if canonical == extraction.value:
+                normalized.append(extraction)
+            else:
+                normalized.append(Extraction(
+                    attribute=extraction.attribute,
+                    value=canonical,
+                    start=extraction.start,
+                    end=extraction.end,
+                    extractor=f"{extraction.extractor}+norm",
+                ))
+        return normalized

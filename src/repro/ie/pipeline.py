@@ -1,0 +1,111 @@
+"""The assembled IE pipeline and its evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.ie.dictionary import DictionaryExtractor
+from repro.ie.extractors import Extraction, RegexExtractor
+from repro.ie.normalize import NormalizationRules
+from repro.utils.text import normalize_text
+
+
+@dataclass
+class IEReport:
+    """Per-attribute precision/recall of a pipeline over items."""
+
+    per_attribute: Dict[str, Tuple[float, float, int]] = field(default_factory=dict)
+
+    def row(self, attribute: str) -> Tuple[float, float, int]:
+        """(precision, recall, support) for one attribute."""
+        return self.per_attribute[attribute]
+
+    def macro_precision(self) -> float:
+        rows = list(self.per_attribute.values())
+        return sum(r[0] for r in rows) / len(rows) if rows else 1.0
+
+    def macro_recall(self) -> float:
+        rows = list(self.per_attribute.values())
+        return sum(r[1] for r in rows) / len(rows) if rows else 0.0
+
+
+class IEPipeline:
+    """Runs extractors over title+description and normalizes the results."""
+
+    def __init__(
+        self,
+        extractors: Sequence[object],
+        normalizer: Optional[NormalizationRules] = None,
+    ):
+        if not extractors:
+            raise ValueError("IE pipeline needs at least one extractor")
+        self.extractors = list(extractors)
+        self.normalizer = normalizer
+
+    def extract_all(self, item: ProductItem) -> List[Extraction]:
+        text = f"{item.title}. {item.description}"
+        found: List[Extraction] = []
+        for extractor in self.extractors:
+            found.extend(extractor.extract(text))
+        if self.normalizer is not None:
+            found = self.normalizer.apply(found)
+        return found
+
+    def extract_attributes(self, item: ProductItem) -> Dict[str, str]:
+        """Best (first) value per attribute."""
+        attributes: Dict[str, str] = {}
+        for extraction in self.extract_all(item):
+            attributes.setdefault(extraction.attribute, extraction.value)
+        return attributes
+
+    def evaluate(
+        self,
+        items: Sequence[ProductItem],
+        attribute_map: Optional[Dict[str, str]] = None,
+    ) -> IEReport:
+        """Score extraction against item ground-truth attributes.
+
+        ``attribute_map`` maps pipeline attribute names to ground-truth
+        attribute names (default: brand -> brand_name, others identity).
+        A value counts as correct when the truth and extraction agree after
+        normalization, in either containment direction ("5 quart" vs
+        "5 quarts").
+        """
+        mapping = {"brand": "brand_name"}
+        if attribute_map:
+            mapping.update(attribute_map)
+        counts: Dict[str, List[int]] = {}
+        for item in items:
+            predicted = self.extract_attributes(item)
+            attributes = set(predicted)
+            truth_keys = {mapping.get(a, a) for a in attributes}
+            for attribute in attributes | {
+                a for a in ("brand", "weight", "color", "volume")
+                if item.attribute(mapping.get(a, a)) is not None
+            }:
+                truth = item.attribute(mapping.get(attribute, attribute))
+                if truth is None:
+                    continue
+                stats = counts.setdefault(attribute, [0, 0, 0])  # tp, fp, fn
+                value = predicted.get(attribute)
+                if value is None:
+                    stats[2] += 1
+                elif _values_agree(value, truth):
+                    stats[0] += 1
+                else:
+                    stats[1] += 1
+        report = IEReport()
+        for attribute in sorted(counts):
+            tp, fp, fn = counts[attribute]
+            precision = tp / (tp + fp) if tp + fp else 1.0
+            recall = tp / (tp + fn) if tp + fn else 0.0
+            report.per_attribute[attribute] = (precision, recall, tp + fn)
+        return report
+
+
+def _values_agree(extracted: str, truth: str) -> bool:
+    left = normalize_text(extracted)
+    right = normalize_text(truth)
+    return left == right or left in right or right in left

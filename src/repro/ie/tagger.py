@@ -1,0 +1,104 @@
+"""Averaged-perceptron token tagger: the learned IE baseline.
+
+A simple sequence-free token classifier (identity/neighbour/shape features)
+trained to tag attribute-bearing tokens — the "learning techniques (e.g.,
+CRF, structural perceptron)" slot of section 6, scaled to this repo.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.utils.text import normalize_text
+
+
+def _token_features(tokens: Sequence[str], index: int) -> List[str]:
+    token = tokens[index]
+    previous = tokens[index - 1] if index > 0 else "<s>"
+    following = tokens[index + 1] if index + 1 < len(tokens) else "</s>"
+    return [
+        f"w={token}",
+        f"prev={previous}",
+        f"next={following}",
+        f"suffix={token[-3:]}",
+        f"shape={'d' if token.isdigit() else 'a'}",
+        f"first={'y' if index == 0 else 'n'}",
+    ]
+
+
+class PerceptronTagger:
+    """Binary tagger: does this token belong to the target attribute span?"""
+
+    def __init__(self, epochs: int = 5, seed: int = 0):
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.epochs = epochs
+        self.seed = seed
+        self._weights: Dict[str, float] = defaultdict(float)
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._timestamps: Dict[str, int] = defaultdict(int)
+        self._updates = 0
+        self._fitted = False
+
+    def _score(self, features: Sequence[str]) -> float:
+        return sum(self._weights[f] for f in features)
+
+    def _update(self, features: Sequence[str], delta: float) -> None:
+        self._updates += 1
+        for feature in features:
+            self._totals[feature] += (self._updates - self._timestamps[feature]) * self._weights[feature]
+            self._timestamps[feature] = self._updates
+            self._weights[feature] += delta
+
+    def fit(
+        self, sentences: Sequence[Sequence[str]], labels: Sequence[Sequence[bool]]
+    ) -> "PerceptronTagger":
+        if len(sentences) != len(labels):
+            raise ValueError("sentences and labels must align")
+        import random
+
+        order = list(range(len(sentences)))
+        rng = random.Random(self.seed)
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for row in order:
+                tokens = sentences[row]
+                gold = labels[row]
+                for index in range(len(tokens)):
+                    features = _token_features(tokens, index)
+                    predicted = self._score(features) > 0
+                    if predicted != gold[index]:
+                        self._update(features, 1.0 if gold[index] else -1.0)
+        # Average the weights.
+        for feature in list(self._weights):
+            self._totals[feature] += (self._updates - self._timestamps[feature]) * self._weights[feature]
+            self._timestamps[feature] = self._updates
+            if self._updates:
+                self._weights[feature] = self._totals[feature] / self._updates
+        self._fitted = True
+        return self
+
+    def tag(self, tokens: Sequence[str]) -> List[bool]:
+        if not self._fitted:
+            raise RuntimeError("tagger is not fitted")
+        return [
+            self._score(_token_features(tokens, index)) > 0
+            for index in range(len(tokens))
+        ]
+
+    def extract_spans(self, text: str) -> List[str]:
+        """Contiguous tagged spans, as strings."""
+        tokens = normalize_text(text).split()
+        flags = self.tag(tokens)
+        spans: List[str] = []
+        current: List[str] = []
+        for token, flag in zip(tokens, flags):
+            if flag:
+                current.append(token)
+            elif current:
+                spans.append(" ".join(current))
+                current = []
+        if current:
+            spans.append(" ".join(current))
+        return spans

@@ -1,0 +1,15 @@
+"""Knowledge base substrate (section 6, "Building Knowledge Bases").
+
+A KB built daily from sources (our taxonomy + brand tables standing in for
+Wikipedia), with analyst curation captured as *rules* that replay after
+every rebuild: "Such curating actions are not being performed directly on
+the KB, but rather being captured as rules ... Then the next day after the
+construction pipeline has been refreshed ... these curation rules are being
+applied again."
+"""
+
+from repro.kb.construction import KbBuilder
+from repro.kb.curation import CurationLog, CurationRule
+from repro.kb.kb import KnowledgeBase
+
+__all__ = ["CurationLog", "CurationRule", "KbBuilder", "KnowledgeBase"]

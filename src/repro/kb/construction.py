@@ -1,0 +1,80 @@
+"""Daily KB construction from (noisy) sources."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.catalog.types import Taxonomy
+from repro.catalog.vocabulary import brand_knowledge
+from repro.kb.kb import KnowledgeBase
+
+
+class KbBuilder:
+    """Rebuilds the KB from sources, with per-day source noise.
+
+    The sources are the catalog taxonomy (departments -> types) and the
+    brand tables. Each build day injects a few deterministic-per-day errors
+    (misplaced types, spurious brand entries) — the "Wikipedia has changed"
+    churn that makes replayed curation rules necessary.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        brand_tables: Optional[Dict[str, Tuple[str, ...]]] = None,
+        noise_edges_per_build: int = 3,
+        noise_brands_per_build: int = 2,
+        systematic_noise_edges: int = 2,
+        seed: int = 0,
+    ):
+        self.taxonomy = taxonomy
+        self.brand_tables = dict(brand_tables) if brand_tables is not None else brand_knowledge()
+        self.noise_edges_per_build = noise_edges_per_build
+        self.noise_brands_per_build = noise_brands_per_build
+        self.seed = seed
+        # Systematic source errors recur in *every* build — these are what
+        # make replayed curation rules pay off day after day.
+        systematic_rng = random.Random(f"{seed}:systematic")
+        type_names = taxonomy.type_names
+        departments = taxonomy.departments()
+        self.systematic_edges = []
+        while len(self.systematic_edges) < systematic_noise_edges and type_names:
+            victim = systematic_rng.choice(type_names)
+            wrong = systematic_rng.choice(departments)
+            if wrong != taxonomy.get(victim).department:
+                self.systematic_edges.append((wrong, victim))
+
+    def build(self, day: int = 0) -> KnowledgeBase:
+        """A fresh KB for ``day`` (same day -> identical KB)."""
+        rng = random.Random(f"{self.seed}:{day}")
+        kb = KnowledgeBase()
+        kb.add_edge("root", "products")
+        departments = self.taxonomy.departments()
+        for department in departments:
+            kb.add_edge("products", department)
+        for product_type in self.taxonomy:
+            kb.add_edge(product_type.department, product_type.name)
+        for brand, types in sorted(self.brand_tables.items()):
+            kb.set_brand_types(brand, types)
+
+        # Recurring source errors (same every day until the source is fixed).
+        for wrong_department, victim in self.systematic_edges:
+            if not kb.has_edge(wrong_department, victim):
+                kb.add_edge(wrong_department, victim)
+
+        # Source noise: misplace a few types under wrong departments...
+        type_names = self.taxonomy.type_names
+        for _ in range(self.noise_edges_per_build):
+            victim = rng.choice(type_names)
+            wrong_department = rng.choice(departments)
+            if not kb.has_edge(wrong_department, victim):
+                kb.add_edge(wrong_department, victim)
+        # ... and add spurious brand->type entries.
+        brands = kb.brands()
+        for _ in range(self.noise_brands_per_build):
+            if not brands:
+                break
+            brand = rng.choice(brands)
+            kb.add_brand_type(brand, rng.choice(type_names))
+        return kb

@@ -1,0 +1,90 @@
+"""Curation rules: analyst fixes captured as replayable operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.kb.kb import KnowledgeBase
+
+_ACTIONS = ("remove_edge", "add_edge", "remove_brand_type", "add_brand_type")
+
+
+@dataclass(frozen=True)
+class CurationRule:
+    """One curation action, e.g. ('remove_edge', 'garden', 'area rugs')."""
+
+    action: str
+    subject: str
+    object: str
+    author: str = "analyst"
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown curation action {self.action!r}; known: {_ACTIONS}")
+
+    def apply(self, kb: KnowledgeBase) -> bool:
+        """Apply to ``kb``; returns False when the fix no longer applies
+        (e.g. the bad edge did not reappear in today's build)."""
+        try:
+            if self.action == "remove_edge":
+                kb.remove_edge(self.subject, self.object)
+            elif self.action == "add_edge":
+                if kb.has_edge(self.subject, self.object):
+                    return False
+                kb.add_edge(self.subject, self.object)
+            elif self.action == "remove_brand_type":
+                kb.remove_brand_type(self.subject, self.object)
+            elif self.action == "add_brand_type":
+                if self.object in kb.brand_types(self.subject):
+                    return False
+                kb.add_brand_type(self.subject, self.object)
+        except KeyError:
+            return False
+        return True
+
+
+class CurationLog:
+    """The accumulated curation rules, replayed after every rebuild.
+
+    Kosmix analysts wrote "several thousands of such rules" over 3-4 years;
+    the log keeps application statistics so stale rules can be retired.
+    """
+
+    def __init__(self):
+        self.rules: List[CurationRule] = []
+        self.applied_counts: Dict[int, int] = {}
+        self.noop_counts: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def record(self, rule: CurationRule, kb: Optional[KnowledgeBase] = None) -> None:
+        """Add a rule to the log, optionally applying it immediately."""
+        index = len(self.rules)
+        self.rules.append(rule)
+        self.applied_counts[index] = 0
+        self.noop_counts[index] = 0
+        if kb is not None:
+            self._apply_one(index, kb)
+
+    def _apply_one(self, index: int, kb: KnowledgeBase) -> bool:
+        applied = self.rules[index].apply(kb)
+        if applied:
+            self.applied_counts[index] += 1
+        else:
+            self.noop_counts[index] += 1
+        return applied
+
+    def replay(self, kb: KnowledgeBase) -> int:
+        """Apply every rule in order; returns how many took effect."""
+        return sum(1 for index in range(len(self.rules)) if self._apply_one(index, kb))
+
+    def stale_rules(self, min_replays: int = 3) -> List[CurationRule]:
+        """Rules that have been no-ops in every replay so far."""
+        stale = []
+        for index, rule in enumerate(self.rules):
+            total = self.applied_counts[index] + self.noop_counts[index]
+            if total >= min_replays and self.applied_counts[index] == 0:
+                stale.append(rule)
+        return stale

@@ -1,0 +1,103 @@
+"""The knowledge base: a typed taxonomy DAG plus entity tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+class KnowledgeBase:
+    """Taxonomy edges (parent -> child) and brand -> product-type tables.
+
+    This is the Kosmix-KB shape Chimera consumes: given a brand mention, the
+    KB restricts the candidate product types (section 3.2, "Other
+    Considerations").
+    """
+
+    def __init__(self):
+        self.taxonomy = nx.DiGraph()
+        self._brand_types: Dict[str, Set[str]] = {}
+
+    # -- taxonomy ----------------------------------------------------------------
+
+    def add_edge(self, parent: str, child: str) -> None:
+        if parent == child:
+            raise ValueError(f"self-edge on {parent!r}")
+        self.taxonomy.add_edge(parent, child)
+        if not nx.is_directed_acyclic_graph(self.taxonomy):
+            self.taxonomy.remove_edge(parent, child)
+            raise ValueError(f"edge {parent!r}->{child!r} would create a cycle")
+
+    def remove_edge(self, parent: str, child: str) -> None:
+        if not self.taxonomy.has_edge(parent, child):
+            raise KeyError(f"no edge {parent!r}->{child!r}")
+        self.taxonomy.remove_edge(parent, child)
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        return self.taxonomy.has_edge(parent, child)
+
+    def children(self, node: str) -> List[str]:
+        if node not in self.taxonomy:
+            return []
+        return sorted(self.taxonomy.successors(node))
+
+    def parents(self, node: str) -> List[str]:
+        if node not in self.taxonomy:
+            return []
+        return sorted(self.taxonomy.predecessors(node))
+
+    def nodes(self) -> List[str]:
+        return sorted(self.taxonomy.nodes)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return sorted(self.taxonomy.edges)
+
+    # -- brand tables ---------------------------------------------------------------
+
+    def set_brand_types(self, brand: str, types: Iterable[str]) -> None:
+        cleaned = {t for t in types if t}
+        if not cleaned:
+            raise ValueError(f"brand {brand!r} needs at least one type")
+        self._brand_types[brand.lower()] = cleaned
+
+    def add_brand_type(self, brand: str, type_name: str) -> None:
+        self._brand_types.setdefault(brand.lower(), set()).add(type_name)
+
+    def remove_brand_type(self, brand: str, type_name: str) -> None:
+        key = brand.lower()
+        types = self._brand_types.get(key)
+        if not types or type_name not in types:
+            raise KeyError(f"brand {brand!r} has no type {type_name!r}")
+        types.remove(type_name)
+        if not types:
+            del self._brand_types[key]
+
+    def remove_brand(self, brand: str) -> None:
+        try:
+            del self._brand_types[brand.lower()]
+        except KeyError:
+            raise KeyError(f"unknown brand {brand!r}") from None
+
+    def brand_types(self, brand: str) -> Set[str]:
+        return set(self._brand_types.get(brand.lower(), set()))
+
+    def brands(self) -> List[str]:
+        return sorted(self._brand_types)
+
+    def has_brand(self, brand: str) -> bool:
+        return brand.lower() in self._brand_types
+
+    # -- comparison --------------------------------------------------------------------
+
+    def diff(self, other: "KnowledgeBase") -> Dict[str, int]:
+        """Size of the structural differences (for rebuild-stability checks)."""
+        mine, theirs = set(self.edges()), set(other.edges())
+        brand_diff = 0
+        for brand in set(self.brands()) | set(other.brands()):
+            brand_diff += len(self.brand_types(brand) ^ other.brand_types(brand))
+        return {
+            "edges_only_here": len(mine - theirs),
+            "edges_only_there": len(theirs - mine),
+            "brand_type_diffs": brand_diff,
+        }

@@ -1,0 +1,28 @@
+"""Learning substrate: the paper's section 3.1 ensemble, from scratch.
+
+"We train a set of learning-based classifiers (e.g., Naive Bayes, kNN, SVM,
+etc.), often combining them into an ensemble." No ML library is assumed:
+TF-IDF features, Multinomial Naive Bayes, k-nearest-neighbours, a linear
+SVM (one-vs-rest SGD hinge), softmax logistic regression, and a weighted
+voting ensemble are implemented directly on numpy/scipy.sparse.
+"""
+
+from repro.learning.base import LabelEncoder, Prediction, TextClassifier
+from repro.learning.ensemble import VotingEnsemble
+from repro.learning.features import TfidfVectorizer
+from repro.learning.knn import KNearestNeighbors
+from repro.learning.logistic import LogisticRegressionClassifier
+from repro.learning.naive_bayes import MultinomialNaiveBayes
+from repro.learning.svm import LinearSvmClassifier
+
+__all__ = [
+    "KNearestNeighbors",
+    "LabelEncoder",
+    "LinearSvmClassifier",
+    "LogisticRegressionClassifier",
+    "MultinomialNaiveBayes",
+    "Prediction",
+    "TextClassifier",
+    "TfidfVectorizer",
+    "VotingEnsemble",
+]

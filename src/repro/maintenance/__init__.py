@@ -1,0 +1,47 @@
+"""Rule maintenance (section 4, "Rule Maintenance").
+
+Long-lived rule bases accrete problems: imprecise rules slip in, rules go
+stale as data and taxonomy change, independently-written rules subsume or
+overlap each other, and consolidation fights debuggability. This package
+implements the detectors and transformations for each challenge.
+"""
+
+from repro.maintenance.consolidation import (
+    ConsolidatedRule,
+    consolidate_rules,
+    faulty_branches,
+    localization_cost,
+    split_consolidated,
+)
+from repro.maintenance.overlap import OverlapPair, find_overlaps
+from repro.maintenance.staleness import RuleHealth, StalenessMonitor
+from repro.maintenance.subsumption import (
+    SubsumptionPair,
+    find_subsumptions,
+    prune_redundant,
+)
+from repro.maintenance.taxonomy_change import (
+    TaxonomyChangePlan,
+    apply_plan,
+    plan_for_merge,
+    plan_for_split,
+)
+
+__all__ = [
+    "ConsolidatedRule",
+    "OverlapPair",
+    "RuleHealth",
+    "StalenessMonitor",
+    "SubsumptionPair",
+    "TaxonomyChangePlan",
+    "apply_plan",
+    "consolidate_rules",
+    "faulty_branches",
+    "find_overlaps",
+    "find_subsumptions",
+    "localization_cost",
+    "plan_for_merge",
+    "plan_for_split",
+    "prune_redundant",
+    "split_consolidated",
+]

@@ -1,0 +1,116 @@
+"""Rule consolidation and its debuggability cost (section 4).
+
+"Ideally, we want to consolidate the rules into a smaller,
+easier-to-understand set. But ... if we consolidate rules A and B into a
+single rule C, then when rule C misclassifies, it can take an analyst a
+long time to determine whether the problem is in which part of rule C ...
+there is an inherent tension between ... consolidating the rules and
+keeping the rules 'small' and simple to facilitate debugging."
+
+The tension is made measurable: a consolidated rule remembers its branches,
+and :func:`localization_cost` counts the branch evaluations an analyst
+needs (bisection) to find the faulty branch of a misclassifying rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import RegexRule, Rule, WhitelistRule
+
+
+@dataclass
+class ConsolidatedRule:
+    """A merged rule plus the provenance of its branches."""
+
+    rule: WhitelistRule
+    branch_patterns: Tuple[str, ...]
+    source_rule_ids: Tuple[str, ...]
+
+    @property
+    def n_branches(self) -> int:
+        return len(self.branch_patterns)
+
+
+def consolidate_rules(rules: Sequence[Rule]) -> ConsolidatedRule:
+    """Merge same-target regex whitelist rules into one disjunction rule.
+
+    Raises ValueError for empty input, mixed targets, or non-regex rules.
+    """
+    regex_rules = [r for r in rules if isinstance(r, RegexRule) and not r.is_blacklist]
+    if not regex_rules or len(regex_rules) != len(rules):
+        raise ValueError("consolidation needs a non-empty list of whitelist regex rules")
+    targets = {rule.target_type for rule in regex_rules}
+    if len(targets) != 1:
+        raise ValueError(f"cannot consolidate rules with mixed targets {sorted(targets)}")
+    branches = tuple(rule.pattern for rule in regex_rules)
+    merged_pattern = "|".join(f"(?:{pattern})" for pattern in branches)
+    merged = WhitelistRule(
+        merged_pattern,
+        regex_rules[0].target_type,
+        author="consolidator",
+        provenance="consolidated",
+        confidence=min(rule.confidence for rule in regex_rules),
+    )
+    return ConsolidatedRule(
+        rule=merged,
+        branch_patterns=branches,
+        source_rule_ids=tuple(rule.rule_id for rule in regex_rules),
+    )
+
+
+def split_consolidated(consolidated: ConsolidatedRule) -> List[WhitelistRule]:
+    """Undo a consolidation: one simple rule per branch."""
+    return [
+        WhitelistRule(
+            pattern,
+            consolidated.rule.target_type,
+            author=consolidated.rule.author,
+            provenance="split",
+        )
+        for pattern in consolidated.branch_patterns
+    ]
+
+
+def faulty_branches(
+    consolidated: ConsolidatedRule, misclassified: ProductItem
+) -> List[int]:
+    """Branch indices that fire on a misclassified item (the debug target)."""
+    hits = []
+    for index, pattern in enumerate(consolidated.branch_patterns):
+        probe = WhitelistRule(pattern, consolidated.rule.target_type)
+        if probe.matches(misclassified):
+            hits.append(index)
+    return hits
+
+
+def localization_cost(
+    consolidated: ConsolidatedRule, misclassified: ProductItem
+) -> int:
+    """Branch evaluations an analyst needs to localize the faulty branch.
+
+    Bisection over the branch list: the analyst repeatedly tests half the
+    disjunction against the item. For a simple (1-branch) rule the cost is
+    1; for an n-branch consolidated rule it is ~ceil(log2 n) rounds each
+    touching up to half the branches — counted here as actual probe
+    evaluations of the bisection. Returns 0 when no branch fires (the rule
+    did not cause this error).
+    """
+    hits = faulty_branches(consolidated, misclassified)
+    if not hits:
+        return 0
+    low, high = 0, consolidated.n_branches
+    cost = 0
+    target = hits[0]
+    while high - low > 1:
+        mid = (low + high) // 2
+        # Testing the lower half costs evaluating its branches once.
+        cost += mid - low
+        if target < mid:
+            high = mid
+        else:
+            low = mid
+    return max(cost, 1)

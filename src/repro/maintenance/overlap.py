@@ -1,0 +1,71 @@
+"""Overlap detection between rules.
+
+"A related challenge is to detect rules that overlap significantly, such as
+``(abrasive|sand(er|ing))[ -](wheels?|discs?)`` and
+``abrasive.*(wheels?|discs?)``" — candidates for consolidation or cleanup.
+Overlap is measured as Jaccard similarity of coverage sets on sample data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule
+
+
+@dataclass(frozen=True)
+class OverlapPair:
+    """Two same-target rules whose coverages overlap heavily."""
+
+    rule_a: str
+    rule_b: str
+    jaccard: float
+    shared: int
+
+
+def find_overlaps(
+    rules: Sequence[Rule],
+    items: Sequence[ProductItem],
+    threshold: float = 0.5,
+    min_shared: int = 2,
+) -> List[OverlapPair]:
+    """Same-target whitelist rule pairs with coverage Jaccard >= threshold.
+
+    Sorted by descending overlap; pairs are reported once (a < b by id).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    whitelists = [r for r in rules if not r.is_blacklist and not r.is_constraint]
+    coverage: Dict[str, Set[int]] = {
+        rule.rule_id: {row for row, item in enumerate(items) if rule.matches(item)}
+        for rule in whitelists
+    }
+    pairs: List[OverlapPair] = []
+    by_target: Dict[str, List[Rule]] = {}
+    for rule in whitelists:
+        by_target.setdefault(rule.target_type, []).append(rule)
+    for target in sorted(by_target):
+        group = sorted(by_target[target], key=lambda r: r.rule_id)
+        for index, rule_a in enumerate(group):
+            cov_a = coverage[rule_a.rule_id]
+            if not cov_a:
+                continue
+            for rule_b in group[index + 1 :]:
+                cov_b = coverage[rule_b.rule_id]
+                if not cov_b:
+                    continue
+                shared = len(cov_a & cov_b)
+                if shared < min_shared:
+                    continue
+                jaccard = shared / len(cov_a | cov_b)
+                if jaccard >= threshold:
+                    pairs.append(OverlapPair(
+                        rule_a=rule_a.rule_id,
+                        rule_b=rule_b.rule_id,
+                        jaccard=jaccard,
+                        shared=shared,
+                    ))
+    pairs.sort(key=lambda p: (-p.jaccard, p.rule_a, p.rule_b))
+    return pairs

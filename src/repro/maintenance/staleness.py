@@ -1,0 +1,117 @@
+"""Detecting imprecise and inapplicable rules over time.
+
+Section 4: "The first challenge is to detect and remove imprecise rules ...
+The second challenge is to monitor and remove rules that become imprecise
+or inapplicable" as the product universe drifts. The monitor consumes
+per-batch (rule, hits, correct-hits) observations — from crowd verdicts or
+ground truth — and flags rules whose rolling precision drops below the
+floor or that have stopped matching anything.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import Rule
+
+
+@dataclass(frozen=True)
+class RuleHealth:
+    """Rolling health snapshot for one rule."""
+
+    rule_id: str
+    hits: int
+    correct: int
+    batches_observed: int
+    batches_since_last_hit: int
+
+    @property
+    def precision(self) -> float:
+        return self.correct / self.hits if self.hits else 1.0
+
+
+class StalenessMonitor:
+    """Rolling per-rule precision/applicability over recent batches."""
+
+    def __init__(self, window_batches: int = 10, precision_floor: float = 0.9):
+        if window_batches < 1:
+            raise ValueError(f"window_batches must be >= 1, got {window_batches}")
+        if not 0.0 < precision_floor <= 1.0:
+            raise ValueError(f"precision_floor must be in (0, 1], got {precision_floor}")
+        self.window_batches = window_batches
+        self.precision_floor = precision_floor
+        # rule_id -> deque of (hits, correct) per batch.
+        self._window: Dict[str, Deque[Tuple[int, int]]] = defaultdict(
+            lambda: deque(maxlen=window_batches)
+        )
+        self._batches_seen = 0
+        self._last_hit_batch: Dict[str, int] = {}
+
+    def observe_batch(
+        self,
+        rules: Sequence[Rule],
+        items: Sequence[ProductItem],
+        verified_correct: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Record one batch.
+
+        ``verified_correct`` may override the correct-hit counts (e.g. from
+        crowd verdicts); otherwise ground truth is consulted — which is the
+        benchmark configuration.
+        """
+        self._batches_seen += 1
+        for rule in rules:
+            hits = 0
+            correct = 0
+            for item in items:
+                if rule.matches(item):
+                    hits += 1
+                    if item.true_type == rule.target_type:
+                        correct += 1
+            if verified_correct is not None and rule.rule_id in verified_correct:
+                correct = min(hits, verified_correct[rule.rule_id])
+            self._window[rule.rule_id].append((hits, correct))
+            if hits:
+                self._last_hit_batch[rule.rule_id] = self._batches_seen
+
+    def health(self, rule_id: str) -> RuleHealth:
+        window = self._window.get(rule_id)
+        if window is None:
+            raise KeyError(f"rule {rule_id!r} was never observed")
+        hits = sum(h for h, _ in window)
+        correct = sum(c for _, c in window)
+        last_hit = self._last_hit_batch.get(rule_id)
+        since = (
+            self._batches_seen - last_hit if last_hit is not None else self._batches_seen
+        )
+        return RuleHealth(
+            rule_id=rule_id,
+            hits=hits,
+            correct=correct,
+            batches_observed=len(window),
+            batches_since_last_hit=since,
+        )
+
+    def imprecise_rules(self, min_hits: int = 5) -> List[RuleHealth]:
+        """Rules whose windowed precision fell below the floor."""
+        flagged = []
+        for rule_id in sorted(self._window):
+            health = self.health(rule_id)
+            if health.hits >= min_hits and health.precision < self.precision_floor:
+                flagged.append(health)
+        return flagged
+
+    def inapplicable_rules(self, idle_batches: int = 5) -> List[RuleHealth]:
+        """Rules that have not matched anything for ``idle_batches`` batches."""
+        flagged = []
+        for rule_id in sorted(self._window):
+            health = self.health(rule_id)
+            if (
+                health.batches_observed >= idle_batches
+                and health.batches_since_last_hit >= idle_batches
+            ):
+                flagged.append(health)
+        return flagged

@@ -1,0 +1,119 @@
+"""Subsumption detection.
+
+"Two analysts may independently add the two rules ``denim.*jeans? -> Jeans``
+and ``jeans? -> Jeans`` ... it is highly desirable to be able to detect that
+the first rule is subsumed by the second one and hence should be removed."
+
+Rule A subsumes rule B (same target) when every item B matches, A matches
+too — then B is redundant. Detection is two-tier:
+
+* **syntactic** — for sequence rules, B's token sequence containing A's as a
+  subsequence proves subsumption; likewise a regex whose pattern extends
+  another with extra ``.*``-separated tokens;
+* **empirical** — coverage containment on a sample (``Cov(B) ⊆ Cov(A)``
+  with non-trivial |Cov(B)|), which catches cases syntax cannot prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import RegexRule, Rule, SequenceRule
+from repro.utils.text import contains_word_sequence
+
+
+@dataclass(frozen=True)
+class SubsumptionPair:
+    """``redundant`` is subsumed by ``general`` and can be removed."""
+
+    general_id: str
+    redundant_id: str
+    evidence: str  # "syntactic" or "empirical(n=...)"
+
+
+def _sequence_of(rule: Rule) -> Optional[Tuple[str, ...]]:
+    """A rule's token sequence, if it has one (sequence rules, and regex
+    rules of the plain ``a.*b`` shape)."""
+    if isinstance(rule, SequenceRule):
+        return rule.token_sequence
+    if isinstance(rule, RegexRule):
+        parts = rule.pattern.split(".*")
+        tokens = []
+        for part in parts:
+            stripped = part.strip()
+            if not stripped or not all(c.isalnum() or c in "s?" for c in stripped):
+                return None
+            tokens.append(stripped[:-2] if stripped.endswith("s?") else stripped)
+        return tuple(tokens) if tokens else None
+    return None
+
+
+def _syntactic_subsumes(general: Rule, specific: Rule) -> bool:
+    general_seq = _sequence_of(general)
+    specific_seq = _sequence_of(specific)
+    if general_seq is None or specific_seq is None:
+        return False
+    if len(general_seq) >= len(specific_seq):
+        return False
+    return contains_word_sequence(specific_seq, general_seq)
+
+
+def find_subsumptions(
+    rules: Sequence[Rule],
+    items: Sequence[ProductItem] = (),
+    min_coverage: int = 3,
+) -> List[SubsumptionPair]:
+    """All subsumption pairs among same-target whitelist rules.
+
+    Empirical checks run only when ``items`` are provided; ``min_coverage``
+    guards against vacuous containment of rules that match almost nothing.
+    """
+    pairs: List[SubsumptionPair] = []
+    by_target: Dict[str, List[Rule]] = {}
+    for rule in rules:
+        if not rule.is_blacklist and not rule.is_constraint:
+            by_target.setdefault(rule.target_type, []).append(rule)
+
+    coverage: Dict[str, Set[int]] = {}
+    if items:
+        for rule in rules:
+            coverage[rule.rule_id] = {
+                row for row, item in enumerate(items) if rule.matches(item)
+            }
+
+    for target in sorted(by_target):
+        group = by_target[target]
+        for general in group:
+            for specific in group:
+                if general.rule_id == specific.rule_id:
+                    continue
+                if _syntactic_subsumes(general, specific):
+                    pairs.append(SubsumptionPair(
+                        general_id=general.rule_id,
+                        redundant_id=specific.rule_id,
+                        evidence="syntactic",
+                    ))
+                    continue
+                if items:
+                    cov_general = coverage[general.rule_id]
+                    cov_specific = coverage[specific.rule_id]
+                    if (
+                        len(cov_specific) >= min_coverage
+                        and cov_specific < cov_general
+                    ):
+                        pairs.append(SubsumptionPair(
+                            general_id=general.rule_id,
+                            redundant_id=specific.rule_id,
+                            evidence=f"empirical(n={len(cov_specific)})",
+                        ))
+    return pairs
+
+
+def prune_redundant(
+    rules: Sequence[Rule], pairs: Sequence[SubsumptionPair]
+) -> List[Rule]:
+    """Rules with the subsumed ones removed (keeps the general rules)."""
+    redundant = {pair.redundant_id for pair in pairs}
+    return [rule for rule in rules if rule.rule_id not in redundant]

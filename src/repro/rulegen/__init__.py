@@ -1,0 +1,23 @@
+"""Rule generation from labeled data (section 5.2).
+
+Mine frequent token sequences per product type with AprioriAll, turn
+length-2..4 sequences into ``a1.*a2.*...*an -> t`` rules, keep only rules
+that make no incorrect predictions on the training data, score each rule's
+confidence, and select a high-coverage subset with the paper's Greedy
+(Algorithm 1) and Greedy-Biased (Algorithm 2) procedures.
+"""
+
+from repro.rulegen.confidence import confidence_score
+from repro.rulegen.pipeline import GenerationResult, RuleGenerator
+from repro.rulegen.select import CoverageMap, greedy_biased_select, greedy_select
+from repro.rulegen.seqmine import mine_frequent_sequences
+
+__all__ = [
+    "CoverageMap",
+    "GenerationResult",
+    "RuleGenerator",
+    "confidence_score",
+    "greedy_biased_select",
+    "greedy_select",
+    "mine_frequent_sequences",
+]

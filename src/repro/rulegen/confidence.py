@@ -1,0 +1,57 @@
+"""Rule confidence scoring (section 5.2).
+
+"This score is a linear combination of multiple factors, including whether
+the regex (of the rule) contains the product type name, the number of
+tokens from the product type name that appear in the regex, and the support
+of the rule in the training data."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.utils.text import tokenize
+
+
+def _singular(token: str) -> str:
+    """Crude singularization so "jeans" matches the type name "jean"."""
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def confidence_score(
+    token_sequence: Sequence[str],
+    type_name: str,
+    support: float,
+    weights: Tuple[float, float, float] = (0.45, 0.35, 0.20),
+    support_saturation: float = 0.2,
+) -> float:
+    """Confidence in [0, 1] for a generated rule.
+
+    Three factors, linearly combined with ``weights``:
+
+    1. whether the sequence contains the *full* type name (all name tokens);
+    2. the fraction of type-name tokens appearing in the sequence;
+    3. support, saturating at ``support_saturation``.
+
+    >>> confidence_score(("denim", "jeans"), "jeans", 0.3) > 0.7
+    True
+    >>> confidence_score(("relaxed", "fit"), "jeans", 0.1) < 0.7
+    True
+    """
+    if not token_sequence:
+        raise ValueError("confidence of an empty sequence is undefined")
+    if not 0.0 <= support <= 1.0:
+        raise ValueError(f"support must be in [0, 1], got {support}")
+    w_full, w_overlap, w_support = weights
+    name_tokens = {_singular(t) for t in tokenize(type_name)}
+    # Type names like "abrasive wheels & discs" tokenize to several words.
+    if not name_tokens:
+        name_tokens = {_singular(type_name.lower())}
+    sequence_tokens = {_singular(t) for t in token_sequence}
+    overlap = len(name_tokens & sequence_tokens) / len(name_tokens)
+    contains_full = 1.0 if name_tokens <= sequence_tokens else 0.0
+    support_term = min(1.0, support / support_saturation)
+    score = w_full * contains_full + w_overlap * overlap + w_support * support_term
+    return max(0.0, min(1.0, score))

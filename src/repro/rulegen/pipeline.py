@@ -1,0 +1,144 @@
+"""End-to-end rule generation: labeled titles in, validated rule sets out."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.generator import LabeledTitle
+from repro.core.rule import SequenceRule
+from repro.rulegen.confidence import confidence_score
+from repro.rulegen.select import greedy_biased_select
+from repro.rulegen.seqmine import mine_frequent_sequences
+from repro.utils.text import contains_word_sequence, tokenize
+
+
+@dataclass
+class GenerationResult:
+    """Everything the section 5.2 pipeline produced, with stage counts."""
+
+    high_confidence: List[SequenceRule] = field(default_factory=list)
+    low_confidence: List[SequenceRule] = field(default_factory=list)
+    n_mined: int = 0
+    n_clean: int = 0
+    types_covered: int = 0
+
+    @property
+    def rules(self) -> List[SequenceRule]:
+        return self.high_confidence + self.low_confidence
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.high_confidence) + len(self.low_confidence)
+
+    def rules_for_type(self, type_name: str) -> List[SequenceRule]:
+        return [r for r in self.rules if r.target_type == type_name]
+
+
+class RuleGenerator:
+    """Mines, filters, scores and selects classification rules per type.
+
+    Parameters mirror the paper: sequences of length ``min_length``..
+    ``max_length`` (2..4 — one-token rules are "too general", five-plus
+    "too specific"), per-type ``min_support``, quota ``q`` (500), and the
+    high/low-confidence split at ``alpha`` (0.7). ``require_clean`` enforces
+    "only consider those rules that do not make any incorrect predictions
+    on training data" (section 7).
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.01,
+        min_length: int = 2,
+        max_length: int = 4,
+        q: int = 500,
+        alpha: float = 0.7,
+        require_clean: bool = True,
+    ):
+        if not 1 <= min_length <= max_length:
+            raise ValueError(
+                f"need 1 <= min_length <= max_length, got {min_length}..{max_length}"
+            )
+        self.min_support = min_support
+        self.min_length = min_length
+        self.max_length = max_length
+        self.q = q
+        self.alpha = alpha
+        self.require_clean = require_clean
+
+    def generate(self, training: Sequence[LabeledTitle]) -> GenerationResult:
+        """Run the full pipeline over ``training``."""
+        if not training:
+            raise ValueError("cannot generate rules from empty training data")
+        result = GenerationResult()
+
+        tokenized: List[List[str]] = [tokenize(example.title) for example in training]
+        labels: List[str] = [example.label for example in training]
+        rows_by_type: Dict[str, List[int]] = defaultdict(list)
+        for row, label in enumerate(labels):
+            rows_by_type[label].append(row)
+
+        # Global token -> rows index, for the cleanliness check.
+        postings: Dict[str, Set[int]] = defaultdict(set)
+        for row, tokens in enumerate(tokenized):
+            for token in tokens:
+                postings[token].add(row)
+
+        for type_name in sorted(rows_by_type):
+            type_rows = rows_by_type[type_name]
+            type_token_lists = [tokenized[row] for row in type_rows]
+            frequent = mine_frequent_sequences(
+                type_token_lists, self.min_support, self.max_length
+            )
+            candidates = {
+                seq: count
+                for seq, count in frequent.items()
+                if self.min_length <= len(seq) <= self.max_length
+            }
+            result.n_mined += len(candidates)
+            if not candidates:
+                continue
+
+            rules: List[SequenceRule] = []
+            coverage: Dict[str, Set[int]] = {}
+            for seq in sorted(candidates):
+                count = candidates[seq]
+                support = count / len(type_rows)
+                global_rows = self._global_coverage(seq, postings, tokenized)
+                if self.require_clean and any(
+                    labels[row] != type_name for row in global_rows
+                ):
+                    continue
+                rule = SequenceRule(
+                    seq,
+                    type_name,
+                    support=support,
+                    confidence=confidence_score(seq, type_name, support),
+                    provenance="rulegen",
+                    author="rulegen",
+                )
+                rules.append(rule)
+                # Selection optimizes coverage of this type's titles.
+                coverage[rule.rule_id] = {
+                    row for row in global_rows if labels[row] == type_name
+                }
+            result.n_clean += len(rules)
+            if not rules:
+                continue
+            high, low = greedy_biased_select(rules, coverage, self.q, self.alpha)
+            if high or low:
+                result.types_covered += 1
+            result.high_confidence.extend(high)
+            result.low_confidence.extend(low)
+        return result
+
+    @staticmethod
+    def _global_coverage(
+        seq: Tuple[str, ...],
+        postings: Dict[str, Set[int]],
+        tokenized: Sequence[Sequence[str]],
+    ) -> Set[int]:
+        """Rows of the whole training set the sequence matches."""
+        possible = set.intersection(*(postings.get(t, set()) for t in seq))
+        return {row for row in possible if contains_word_sequence(tokenized[row], seq)}

@@ -1,0 +1,82 @@
+"""Rule selection: Algorithms 1 (Greedy) and 2 (Greedy-Biased) of the paper.
+
+Given candidate rules R over data D with coverage Cov(Ri, D) and confidence
+conf(Ri), select up to q rules maximizing covered-title confidence mass.
+Algorithm 1 greedily picks argmax |Cov(Ri, D) - Cov(S, D)| * conf(Ri) and
+stops when q rules are chosen or no rule adds coverage. Algorithm 2 splits
+R at the confidence threshold alpha and exhausts the high-confidence pool
+before touching the low-confidence one (analysts prefer high-confidence
+rules even at some coverage cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.rule import SequenceRule
+
+# rule_id -> set of covered item/title indices.
+CoverageMap = Dict[str, Set[int]]
+
+
+def greedy_select(
+    rules: Sequence[SequenceRule],
+    coverage: CoverageMap,
+    q: int,
+) -> List[SequenceRule]:
+    """Algorithm 1: Greedy(R, D, q).
+
+    Deterministic: ties on the (new coverage x confidence) objective break
+    by higher confidence, then rule id.
+    """
+    if q < 0:
+        raise ValueError(f"q must be non-negative, got {q}")
+    selected: List[SequenceRule] = []
+    covered: Set[int] = set()
+    remaining = list(rules)
+    while remaining and len(selected) < q:
+        best_rule = None
+        best_key: Tuple[float, float, str] = (-1.0, -1.0, "")
+        for rule in remaining:
+            new_coverage = len(coverage.get(rule.rule_id, set()) - covered)
+            key = (new_coverage * rule.confidence, rule.confidence, rule.rule_id)
+            if key > best_key:
+                best_key = key
+                best_rule = rule
+        gained = coverage.get(best_rule.rule_id, set()) - covered
+        if not gained:
+            return selected
+        selected.append(best_rule)
+        covered |= gained
+        remaining.remove(best_rule)
+    return selected
+
+
+def greedy_biased_select(
+    rules: Sequence[SequenceRule],
+    coverage: CoverageMap,
+    q: int,
+    alpha: float = 0.7,
+) -> Tuple[List[SequenceRule], List[SequenceRule]]:
+    """Algorithm 2: Greedy-Biased(R, D, q).
+
+    Returns (high_confidence_selected, low_confidence_selected); the low
+    pool is only consulted for titles the high pool left uncovered, and only
+    up to the remaining quota.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    high = [rule for rule in rules if rule.confidence >= alpha]
+    low = [rule for rule in rules if rule.confidence < alpha]
+    selected_high = greedy_select(high, coverage, q)
+    selected_low: List[SequenceRule] = []
+    if len(selected_high) < q:
+        covered_by_high: Set[int] = set()
+        for rule in selected_high:
+            covered_by_high |= coverage.get(rule.rule_id, set())
+        residual_coverage: CoverageMap = {
+            rule.rule_id: coverage.get(rule.rule_id, set()) - covered_by_high
+            for rule in low
+        }
+        selected_low = greedy_select(low, residual_coverage, q - len(selected_high))
+    return selected_high, selected_low

@@ -1,0 +1,20 @@
+"""Vertical search substrate.
+
+Section 1 lists vertical search among the semantics-intensive Big Data
+systems that rely on rules. This package is a product-search engine in that
+mold: a token index with TF-IDF scoring, plus the analyst-controlled rule
+layers production search teams actually run — query rewrite rules (synonym
+expansion, reusing the §5.1 families), result blacklist rules, and boost
+rules pinning business-critical types.
+"""
+
+from repro.search.engine import SearchEngine, SearchResult
+from repro.search.rules import BlacklistResultRule, BoostRule, QueryRewriteRule
+
+__all__ = [
+    "BlacklistResultRule",
+    "BoostRule",
+    "QueryRewriteRule",
+    "SearchEngine",
+    "SearchResult",
+]

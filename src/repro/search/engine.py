@@ -1,0 +1,108 @@
+"""The vertical search engine: TF-IDF retrieval plus the rule layers."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.search.rules import BlacklistResultRule, BoostRule, QueryRewriteRule
+from repro.utils.text import tokenize
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit."""
+
+    item: ProductItem
+    score: float
+
+
+class SearchEngine:
+    """Inverted-index retrieval with rule-controlled rewrite/filter/boost.
+
+    Query pipeline: tokenize → apply rewrite rules (synonym expansion) →
+    score candidates by TF-IDF overlap → drop blacklisted results → apply
+    boosts → rank. Every rule layer is analyst-editable at runtime.
+    """
+
+    def __init__(self, items: Sequence[ProductItem]):
+        if not items:
+            raise ValueError("search engine needs at least one item")
+        self.items = list(items)
+        self._postings: Dict[str, List[int]] = defaultdict(list)
+        self._lengths: List[int] = []
+        for row, item in enumerate(self.items):
+            tokens = tokenize(item.title)
+            self._lengths.append(max(1, len(tokens)))
+            for token in set(tokens):
+                self._postings[token].append(row)
+        self._idf = {
+            token: math.log(1 + len(self.items) / len(rows))
+            for token, rows in self._postings.items()
+        }
+        self.rewrite_rules: List[QueryRewriteRule] = []
+        self.blacklist_rules: List[BlacklistResultRule] = []
+        self.boost_rules: List[BoostRule] = []
+
+    # -- rule management --------------------------------------------------------
+
+    def add_rewrite(self, rule: QueryRewriteRule) -> None:
+        self.rewrite_rules.append(rule)
+
+    def add_blacklist(self, rule: BlacklistResultRule) -> None:
+        self.blacklist_rules.append(rule)
+
+    def add_boost(self, rule: BoostRule) -> None:
+        self.boost_rules.append(rule)
+
+    # -- querying -----------------------------------------------------------------
+
+    def expand_query(self, query: str) -> List[str]:
+        """Tokenize and run the rewrite layer."""
+        tokens = tokenize(query)
+        for rule in self.rewrite_rules:
+            tokens = rule.rewrite(tokens)
+        return tokens
+
+    def search(self, query: str, top_k: int = 10) -> List[SearchResult]:
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        original_tokens = tokenize(query)
+        tokens = self.expand_query(query)
+        scores: Dict[int, float] = defaultdict(float)
+        for token in tokens:
+            idf = self._idf.get(token)
+            if idf is None:
+                continue
+            # Expansion tokens count slightly less than the user's words.
+            weight = 1.0 if token in original_tokens else 0.7
+            for row in self._postings[token]:
+                scores[row] += weight * idf / math.sqrt(self._lengths[row])
+
+        active_blacklists = [
+            rule for rule in self.blacklist_rules if rule.applies(original_tokens)
+        ]
+        active_boosts = [
+            rule for rule in self.boost_rules if rule.applies(original_tokens)
+        ]
+        results: List[SearchResult] = []
+        for row, score in scores.items():
+            item = self.items[row]
+            if any(rule.drops(item) for rule in active_blacklists):
+                continue
+            for boost in active_boosts:
+                if item.true_type == boost.product_type:
+                    score *= boost.factor
+            results.append(SearchResult(item=item, score=score))
+        results.sort(key=lambda r: (-r.score, r.item.item_id))
+        return results[:top_k]
+
+    def recall_at(self, query: str, wanted_type: str, k: int = 10) -> float:
+        """Fraction of the top-k that is of ``wanted_type`` (eval helper)."""
+        results = self.search(query, top_k=k)
+        if not results:
+            return 0.0
+        return sum(1 for r in results if r.item.true_type == wanted_type) / len(results)

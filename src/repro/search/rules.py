@@ -1,0 +1,91 @@
+"""Search-side rules: query rewrites, result blacklists, boosts."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+from repro.catalog.types import ProductItem
+from repro.core.rule import compile_title_regex
+from repro.utils.text import tokenize
+
+_rule_ids = itertools.count(1)
+
+
+def _fresh_id(prefix: str) -> str:
+    return f"{prefix}-{next(_rule_ids):05d}"
+
+
+@dataclass
+class QueryRewriteRule:
+    """Expand a query term into a synonym disjunction.
+
+    The §5.1 tool's output plugs straight in: an expanded family like
+    ``motor|engine|car|truck`` becomes the rewrite for "motor".
+    """
+
+    term: str
+    synonyms: Tuple[str, ...]
+    rule_id: str = field(default_factory=lambda: _fresh_id("qr"))
+
+    def __post_init__(self) -> None:
+        if not self.term.strip():
+            raise ValueError("rewrite rule needs a non-empty term")
+        if not self.synonyms:
+            raise ValueError("rewrite rule needs at least one synonym")
+        self.term = self.term.lower()
+        self.synonyms = tuple(s.lower() for s in self.synonyms)
+
+    def rewrite(self, query_tokens: Sequence[str]) -> List[str]:
+        """Expanded token list (original tokens + synonyms when triggered)."""
+        expanded = list(query_tokens)
+        if self.term in query_tokens:
+            expanded.extend(s for s in self.synonyms if s not in expanded)
+        return expanded
+
+
+@dataclass
+class BlacklistResultRule:
+    """Drop results whose title matches a pattern for a given query term.
+
+    E.g. drop "oil filter" results from "motor oil" queries — the search
+    analogue of the classification blacklist.
+    """
+
+    query_term: str
+    title_pattern: str
+    rule_id: str = field(default_factory=lambda: _fresh_id("bl"))
+
+    def __post_init__(self) -> None:
+        self._compiled = compile_title_regex(self.title_pattern)
+        self.query_term = self.query_term.lower()
+
+    def applies(self, query_tokens: Sequence[str]) -> bool:
+        return self.query_term in query_tokens
+
+    def drops(self, item: ProductItem) -> bool:
+        title = " ".join(tokenize(item.title, drop_stopwords=False))
+        return self._compiled.search(title) is not None
+
+
+@dataclass
+class BoostRule:
+    """Multiply the score of results of a product type for a query term.
+
+    Business units pin or promote types ("medicine queries must surface the
+    pharmacy vertical first") through rules, not ranker retraining.
+    """
+
+    query_term: str
+    product_type: str
+    factor: float
+    rule_id: str = field(default_factory=lambda: _fresh_id("bst"))
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"boost factor must be positive, got {self.factor}")
+        self.query_term = self.query_term.lower()
+
+    def applies(self, query_tokens: Sequence[str]) -> bool:
+        return self.query_term in query_tokens

@@ -1,0 +1,28 @@
+"""The section 5.1 synonym-discovery tool (Figure 3).
+
+An analyst writes a rule like ``(motor | engine | \\syn) oils? -> motor oil``;
+the tool mines the corpus with generalized regexes, ranks candidate
+"synonyms" by TF/IDF context similarity to the golden synonyms, shows them
+top-k at a time, and re-ranks with Rocchio relevance feedback after each
+analyst-labelled batch — turning hours of title-combing into minutes.
+"""
+
+from repro.synonym.context import ContextMatch, ContextModel
+from repro.synonym.generalize import SynonymRuleSpec, parse_syn_rule
+from repro.synonym.ranker import CandidateRanker, RankedCandidate
+from repro.synonym.rocchio import RocchioFeedback
+from repro.synonym.session import DiscoveryReport, DiscoverySession
+from repro.synonym.tool import SynonymTool
+
+__all__ = [
+    "CandidateRanker",
+    "ContextMatch",
+    "ContextModel",
+    "DiscoveryReport",
+    "DiscoverySession",
+    "RankedCandidate",
+    "RocchioFeedback",
+    "SynonymRuleSpec",
+    "SynonymTool",
+    "parse_syn_rule",
+]

@@ -1,0 +1,130 @@
+"""Context extraction and TF/IDF vectors for synonym candidates.
+
+Section 5.1: each match is a tuple <candidate synonym, prefix, suffix>; the
+prefix/suffix windows are 5 words; vectors are TF/IDF-weighted with
+``idf_t = log(|M| / df_t)`` over the |M| matches, then normalized.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Pattern, Sequence, Tuple
+
+from repro.utils.text import normalize_text, window
+from repro.utils.vectors import SparseVector
+
+
+@dataclass(frozen=True)
+class ContextMatch:
+    """One regex match: the candidate phrase plus its context windows."""
+
+    candidate: str
+    prefix: Tuple[str, ...]
+    suffix: Tuple[str, ...]
+
+
+def extract_matches(
+    titles: Iterable[str],
+    patterns: Sequence[Pattern],
+    context_size: int = 5,
+) -> List[ContextMatch]:
+    """Run the (generalized) regexes over titles, collecting matches.
+
+    Titles are normalized the same way rule matching normalizes them, so the
+    regexes see the text rules would see.
+    """
+    matches: List[ContextMatch] = []
+    for title in titles:
+        normalized = normalize_text(title)
+        tokens = normalized.split()
+        # Token start offsets for mapping char spans to token windows.
+        offsets = []
+        position = 0
+        for token in tokens:
+            start = normalized.index(token, position)
+            offsets.append(start)
+            position = start + len(token)
+        for pattern in patterns:
+            for found in pattern.finditer(normalized):
+                span_start, span_end = found.span("syn")
+                first_token = _token_at(offsets, tokens, span_start)
+                last_token = _token_at(offsets, tokens, max(span_start, span_end - 1))
+                if first_token is None or last_token is None:
+                    continue
+                prefix, suffix = window(tokens, first_token, last_token + 1, context_size)
+                matches.append(ContextMatch(
+                    candidate=found.group("syn"),
+                    prefix=tuple(prefix),
+                    suffix=tuple(suffix),
+                ))
+    return matches
+
+
+def _token_at(offsets: List[int], tokens: List[str], char_index: int):
+    """Index of the token covering ``char_index``, or None."""
+    for index in range(len(offsets) - 1, -1, -1):
+        if offsets[index] <= char_index:
+            if char_index < offsets[index] + len(tokens[index]):
+                return index
+            return None
+    return None
+
+
+class ContextModel:
+    """TF/IDF prefix/suffix vectors over a set of matches.
+
+    Built once from all matches (golden + candidates); provides normalized
+    per-match vectors and per-candidate mean vectors, exactly the quantities
+    of section 5.1.
+    """
+
+    def __init__(self, matches: Sequence[ContextMatch]):
+        if not matches:
+            raise ValueError("context model needs at least one match")
+        self.matches = list(matches)
+        total = len(self.matches)
+        prefix_df: Dict[str, int] = defaultdict(int)
+        suffix_df: Dict[str, int] = defaultdict(int)
+        for match in self.matches:
+            for token in set(match.prefix):
+                prefix_df[token] += 1
+            for token in set(match.suffix):
+                suffix_df[token] += 1
+        # idf = log(|M| / df); tokens in every match get idf 0 and vanish.
+        self._prefix_idf = {t: math.log(total / df) for t, df in prefix_df.items()}
+        self._suffix_idf = {t: math.log(total / df) for t, df in suffix_df.items()}
+
+    def _vector(self, tokens: Sequence[str], idf: Dict[str, float]) -> SparseVector:
+        counts: Dict[str, int] = defaultdict(int)
+        for token in tokens:
+            counts[token] += 1
+        weighted = {
+            token: count * idf.get(token, 0.0) for token, count in counts.items()
+        }
+        return SparseVector(weighted).normalized()
+
+    def prefix_vector(self, match: ContextMatch) -> SparseVector:
+        return self._vector(match.prefix, self._prefix_idf)
+
+    def suffix_vector(self, match: ContextMatch) -> SparseVector:
+        return self._vector(match.suffix, self._suffix_idf)
+
+    def mean_vectors(
+        self, matches: Sequence[ContextMatch]
+    ) -> Tuple[SparseVector, SparseVector]:
+        """Mean normalized (prefix, suffix) vectors over ``matches``."""
+        from repro.utils.vectors import mean_vector
+
+        prefix = mean_vector(self.prefix_vector(m) for m in matches)
+        suffix = mean_vector(self.suffix_vector(m) for m in matches)
+        return prefix, suffix
+
+    def group_by_candidate(
+        self, matches: Sequence[ContextMatch]
+    ) -> Dict[str, List[ContextMatch]]:
+        grouped: Dict[str, List[ContextMatch]] = defaultdict(list)
+        for match in matches:
+            grouped[match.candidate].append(match)
+        return dict(grouped)

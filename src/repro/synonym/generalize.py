@@ -1,0 +1,128 @@
+"""Parsing ``\\syn`` rules and building generalized regexes.
+
+Given ``(motor | engine | \\syn) oils? -> motor oil`` the tool must know
+(a) the golden synonyms the analyst already wrote ("motor", "engine"),
+(b) the surrounding pattern before/after the marked disjunction, and
+(c) the generalized regexes — ``(\\w+) oils?``, ``(\\w+\\s+\\w+) oils?``, ...
+— that harvest candidate phrases of up to ``max_words`` words (section 5.1
+currently sets 3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Pattern, Tuple
+
+from repro.core.errors import RuleParseError
+
+_SYN_MARKER = r"\syn"
+
+
+@dataclass(frozen=True)
+class SynonymRuleSpec:
+    """A parsed ``\\syn`` rule.
+
+    ``before``/``after`` are the regex fragments around the marked
+    disjunction (with surrounding whitespace normalized), ``golden`` are the
+    analyst's existing disjuncts, ``target_type`` is the rule's type.
+    """
+
+    before: str
+    golden: Tuple[str, ...]
+    after: str
+    target_type: str
+    source: str
+
+    def expanded_pattern(self, synonyms: Tuple[str, ...]) -> str:
+        """Rebuild the rule regex with ``synonyms`` added to the disjunction."""
+        disjuncts = list(self.golden) + [s for s in synonyms if s not in self.golden]
+        body = "|".join(disjuncts)
+        return f"{self.before}({body}){self.after}".strip()
+
+    def golden_pattern(self) -> str:
+        """The rule regex restricted to the golden synonyms."""
+        return self.expanded_pattern(())
+
+
+def parse_syn_rule(source: str) -> SynonymRuleSpec:
+    """Parse a rule of the form ``... ( a | b | \\syn ) ... -> type``.
+
+    Raises :class:`~repro.core.errors.RuleParseError` when there is no
+    ``->``, no ``\\syn`` marker, or the marker is not inside a parenthesized
+    disjunction.
+    """
+    if "->" not in source:
+        raise RuleParseError(source, "missing '->'")
+    condition, _, target = source.rpartition("->")
+    condition = condition.strip()
+    target = target.strip()
+    if not target:
+        raise RuleParseError(source, "empty target type")
+    marker_at = condition.find(_SYN_MARKER)
+    if marker_at == -1:
+        raise RuleParseError(source, "no \\syn marker")
+
+    # Find the parenthesized group enclosing the marker.
+    open_at = condition.rfind("(", 0, marker_at)
+    if open_at == -1:
+        raise RuleParseError(source, "\\syn must appear inside a (...) disjunction")
+    depth = 1
+    close_at = None
+    for index in range(open_at + 1, len(condition)):
+        if condition[index] == "(":
+            depth += 1
+        elif condition[index] == ")":
+            depth -= 1
+            if depth == 0:
+                close_at = index
+                break
+    if close_at is None or close_at < marker_at:
+        raise RuleParseError(source, "unbalanced parentheses around \\syn")
+
+    body = condition[open_at + 1 : close_at]
+    disjuncts = [d.strip() for d in body.split("|")]
+    golden = tuple(d for d in disjuncts if d and d != _SYN_MARKER)
+    if _SYN_MARKER not in [d for d in disjuncts]:
+        raise RuleParseError(source, "\\syn must be a whole disjunct")
+    # Analysts write disjunctions with readability spaces ("a | b"); regex
+    # semantics need them tight.
+    tighten = lambda text: re.sub(r"\s*\|\s*", "|", text.strip())
+    before = tighten(condition[:open_at])
+    after = tighten(condition[close_at + 1 :])
+    if before:
+        before = before + " "
+    if after:
+        after = " " + after
+    return SynonymRuleSpec(
+        before=before,
+        golden=golden,
+        after=after,
+        target_type=target,
+        source=source,
+    )
+
+
+def generalized_regexes(
+    spec: SynonymRuleSpec, max_words: int = 3
+) -> List[Pattern]:
+    """Compiled generalized regexes with a ``syn`` capture group.
+
+    One per candidate length 1..``max_words``:
+    ``(\\w+) oils?``, ``(\\w+\\s+\\w+) oils?``, ``(\\w+\\s+\\w+\\s+\\w+) oils?``.
+    """
+    if max_words < 1:
+        raise ValueError(f"max_words must be >= 1, got {max_words}")
+    patterns = []
+    for length in range(1, max_words + 1):
+        blank = r"\w+" + r"".join([r"\s+\w+"] * (length - 1))
+        raw = rf"{spec.before}(?P<syn>{blank}){spec.after}"
+        patterns.append(re.compile(rf"(?<![\w])(?:{raw})(?![\w])"))
+    return patterns
+
+
+def golden_regex(spec: SynonymRuleSpec) -> Pattern:
+    """Compiled regex capturing the golden synonyms in context."""
+    body = "|".join(spec.golden) if spec.golden else r"\w+"
+    raw = rf"{spec.before}(?P<syn>{body}){spec.after}"
+    return re.compile(rf"(?<![\w])(?:{raw})(?![\w])")

@@ -1,0 +1,80 @@
+"""Candidate ranking by context similarity to the golden synonyms.
+
+``score(c) = wp * prefix_sim(c) + ws * suffix_sim(c)`` with wp = ws = 0.5
+(section 5.1), where the similarities are cosines between the candidate's
+mean context vectors and the golden mean context vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.synonym.context import ContextMatch, ContextModel
+from repro.utils.vectors import SparseVector, cosine_similarity
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """A candidate synonym with its score and supporting matches."""
+
+    phrase: str
+    score: float
+    prefix_similarity: float
+    suffix_similarity: float
+    n_matches: int
+    sample_matches: Tuple[ContextMatch, ...] = ()
+
+
+class CandidateRanker:
+    """Scores candidates against (possibly feedback-adjusted) golden vectors."""
+
+    def __init__(
+        self,
+        model: ContextModel,
+        prefix_weight: float = 0.5,
+        suffix_weight: float = 0.5,
+        samples_per_candidate: int = 3,
+    ):
+        if prefix_weight < 0 or suffix_weight < 0:
+            raise ValueError("similarity weights must be non-negative")
+        if prefix_weight + suffix_weight <= 0:
+            raise ValueError("at least one similarity weight must be positive")
+        self.model = model
+        self.prefix_weight = prefix_weight
+        self.suffix_weight = suffix_weight
+        self.samples_per_candidate = samples_per_candidate
+
+    def candidate_means(
+        self, grouped: Dict[str, List[ContextMatch]]
+    ) -> Dict[str, Tuple[SparseVector, SparseVector]]:
+        """Per-candidate mean (prefix, suffix) vectors."""
+        return {
+            phrase: self.model.mean_vectors(matches)
+            for phrase, matches in grouped.items()
+        }
+
+    def rank(
+        self,
+        grouped: Dict[str, List[ContextMatch]],
+        golden_prefix: SparseVector,
+        golden_suffix: SparseVector,
+    ) -> List[RankedCandidate]:
+        """All candidates, best first (ties broken alphabetically)."""
+        ranked: List[RankedCandidate] = []
+        for phrase in sorted(grouped):
+            matches = grouped[phrase]
+            mean_prefix, mean_suffix = self.model.mean_vectors(matches)
+            prefix_sim = cosine_similarity(mean_prefix, golden_prefix)
+            suffix_sim = cosine_similarity(mean_suffix, golden_suffix)
+            score = self.prefix_weight * prefix_sim + self.suffix_weight * suffix_sim
+            ranked.append(RankedCandidate(
+                phrase=phrase,
+                score=score,
+                prefix_similarity=prefix_sim,
+                suffix_similarity=suffix_sim,
+                n_matches=len(matches),
+                sample_matches=tuple(matches[: self.samples_per_candidate]),
+            ))
+        ranked.sort(key=lambda c: (-c.score, c.phrase))
+        return ranked

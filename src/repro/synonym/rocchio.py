@@ -1,0 +1,62 @@
+"""Rocchio relevance feedback over the golden context vectors.
+
+Section 5.1: after each analyst-labelled top-k batch,
+
+    M'_p = alpha * M_p + beta/|Cr| * sum_{c in Cr} M_{p,c}
+                       - gamma/|Cnr| * sum_{c in Cnr} M_{p,c}
+
+(and likewise for suffix vectors), where Cr / Cnr are the candidates the
+analyst accepted / rejected this iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.utils.vectors import SparseVector, mean_vector
+
+
+class RocchioFeedback:
+    """Holds the evolving golden (prefix, suffix) vectors."""
+
+    def __init__(
+        self,
+        golden_prefix: SparseVector,
+        golden_suffix: SparseVector,
+        alpha: float = 1.0,
+        beta: float = 0.75,
+        gamma: float = 0.25,
+    ):
+        for value, label in ((alpha, "alpha"), (beta, "beta"), (gamma, "gamma")):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+        self.prefix = golden_prefix
+        self.suffix = golden_suffix
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+
+    def update(
+        self,
+        accepted: Sequence[Tuple[SparseVector, SparseVector]],
+        rejected: Sequence[Tuple[SparseVector, SparseVector]],
+    ) -> None:
+        """Fold one iteration's labelled candidate vectors into the means."""
+        self.prefix = self._adjust(self.prefix, [a[0] for a in accepted], [r[0] for r in rejected])
+        self.suffix = self._adjust(self.suffix, [a[1] for a in accepted], [r[1] for r in rejected])
+
+    def _adjust(
+        self,
+        current: SparseVector,
+        accepted: List[SparseVector],
+        rejected: List[SparseVector],
+    ) -> SparseVector:
+        updated = current.scale(self.alpha)
+        if accepted:
+            updated = updated.add(mean_vector(accepted).scale(self.beta))
+        if rejected:
+            updated = updated.subtract(mean_vector(rejected).scale(self.gamma))
+        # Negative components are clipped: Rocchio for short contexts works
+        # better without anti-weights dominating (standard IR practice).
+        clipped = {k: v for k, v in updated.items() if v > 0}
+        return SparseVector(clipped)

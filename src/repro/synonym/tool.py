@@ -1,0 +1,109 @@
+"""The synonym tool: candidate mining + ranking + feedback re-ranking."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.synonym.context import ContextMatch, ContextModel, extract_matches
+from repro.synonym.generalize import (
+    SynonymRuleSpec,
+    generalized_regexes,
+    golden_regex,
+    parse_syn_rule,
+)
+from repro.synonym.ranker import CandidateRanker, RankedCandidate
+from repro.synonym.rocchio import RocchioFeedback
+
+
+class SynonymTool:
+    """One tool instance per ``\\syn`` rule and corpus.
+
+    Workflow (Figure 3): ``candidates = tool.initial_ranking()``; show the
+    analyst ``top_k`` at a time; call :meth:`feedback` with the accepted and
+    rejected phrases; repeat with the re-ranked remainder.
+    """
+
+    def __init__(
+        self,
+        rule_source: str,
+        corpus: Sequence[str],
+        max_words: int = 3,
+        context_size: int = 5,
+        prefix_weight: float = 0.5,
+        suffix_weight: float = 0.5,
+        use_feedback: bool = True,
+    ):
+        self.spec: SynonymRuleSpec = parse_syn_rule(rule_source)
+        if not self.spec.golden:
+            raise ValueError(
+                "the rule needs at least one golden synonym next to \\syn"
+            )
+        self.use_feedback = use_feedback
+
+        golden_matches = extract_matches(corpus, [golden_regex(self.spec)], context_size)
+        candidate_matches = extract_matches(
+            corpus, generalized_regexes(self.spec, max_words), context_size
+        )
+        golden_set: Set[str] = set(self.spec.golden)
+        candidate_matches = [
+            m for m in candidate_matches if m.candidate not in golden_set
+        ]
+        self.golden_matches = golden_matches
+        self.candidate_matches = candidate_matches
+        all_matches = golden_matches + candidate_matches
+        if not all_matches:
+            raise ValueError("the rule matched nothing in the corpus")
+        self.model = ContextModel(all_matches)
+        self.ranker = CandidateRanker(
+            self.model, prefix_weight=prefix_weight, suffix_weight=suffix_weight
+        )
+        self._grouped = self.model.group_by_candidate(candidate_matches)
+        self._candidate_means = self.ranker.candidate_means(self._grouped)
+        golden_prefix, golden_suffix = self.model.mean_vectors(golden_matches or all_matches)
+        self.feedback_state = RocchioFeedback(golden_prefix, golden_suffix)
+        self._remaining: Set[str] = set(self._grouped)
+        self.accepted: List[str] = []
+        self.rejected: List[str] = []
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self._grouped)
+
+    @property
+    def remaining(self) -> Set[str]:
+        return set(self._remaining)
+
+    def current_ranking(self) -> List[RankedCandidate]:
+        """Remaining candidates ranked under the current golden vectors."""
+        grouped = {p: self._grouped[p] for p in self._remaining}
+        if not grouped:
+            return []
+        return self.ranker.rank(
+            grouped, self.feedback_state.prefix, self.feedback_state.suffix
+        )
+
+    def next_page(self, top_k: int = 10) -> List[RankedCandidate]:
+        """The next ``top_k`` candidates to show the analyst."""
+        return self.current_ranking()[:top_k]
+
+    def feedback(self, accepted: Sequence[str], rejected: Sequence[str]) -> None:
+        """Record the analyst's labels and re-rank via Rocchio.
+
+        Raises KeyError if a phrase was never a live candidate.
+        """
+        for phrase in list(accepted) + list(rejected):
+            if phrase not in self._remaining:
+                raise KeyError(f"{phrase!r} is not an outstanding candidate")
+        self.accepted.extend(accepted)
+        self.rejected.extend(rejected)
+        self._remaining.difference_update(accepted)
+        self._remaining.difference_update(rejected)
+        if self.use_feedback:
+            self.feedback_state.update(
+                [self._candidate_means[p] for p in accepted],
+                [self._candidate_means[p] for p in rejected],
+            )
+
+    def expanded_rule_pattern(self) -> str:
+        """The final rule regex with all accepted synonyms folded in."""
+        return self.spec.expanded_pattern(tuple(self.accepted))

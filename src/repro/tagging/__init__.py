@@ -1,0 +1,22 @@
+"""Entity linking/tagging and event monitoring (section 6).
+
+The Kosmix-style pipelines: tag documents with KB entities through a stack
+of rule stages (overlap removal, blacklists, sentence-boundary checks,
+editorial overrides) and monitor a tweet stream for events with rules that
+analysts can tighten in real time when the system misbehaves ("making it
+more conservative in deciding which tweets truly belong to an event").
+"""
+
+from repro.tagging.events import EventMonitor, EventReport, EventSpec
+from repro.tagging.linker import EntityLinker, Mention
+from repro.tagging.tweets import Tweet, TweetGenerator
+
+__all__ = [
+    "EntityLinker",
+    "EventMonitor",
+    "EventReport",
+    "EventSpec",
+    "Mention",
+    "Tweet",
+    "TweetGenerator",
+]

@@ -1,0 +1,106 @@
+"""Tweetbeat-style event monitoring with analyst scale-down rules.
+
+"Since it displays tweets in real time, if something goes wrong (e.g., for
+a particular event the system shows many unrelated tweets), the analysts
+needed to be able to react very quickly. To do so, the analysts use a set
+of rules to correct the system's performance and to scale it down (e.g.,
+making it more conservative in deciding which tweets truly belong to an
+event)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.tagging.tweets import Tweet
+from repro.utils.stats import f1_score
+from repro.utils.text import tokenize
+
+
+@dataclass
+class EventSpec:
+    """One monitored event: keywords plus per-event analyst controls."""
+
+    name: str
+    keywords: Set[str]
+    min_keyword_matches: int = 1
+    blacklist_terms: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ValueError(f"event {self.name!r} needs keywords")
+        if self.min_keyword_matches < 1:
+            raise ValueError("min_keyword_matches must be >= 1")
+
+
+@dataclass(frozen=True)
+class EventReport:
+    """Assignment quality per event."""
+
+    event: str
+    precision: float
+    recall: float
+    assigned: int
+
+    @property
+    def f1(self) -> float:
+        return f1_score(self.precision, self.recall)
+
+
+class EventMonitor:
+    """Assigns tweets to events by keyword rules, with live tightening."""
+
+    def __init__(self, events: Sequence[EventSpec]):
+        if not events:
+            raise ValueError("monitor needs at least one event")
+        self.events: Dict[str, EventSpec] = {e.name: e for e in events}
+
+    def assign(self, tweet: Tweet) -> Optional[str]:
+        """The best-matching event for a tweet, or None."""
+        tokens = set(tokenize(tweet.text))
+        best_event, best_hits = None, 0
+        for name in sorted(self.events):
+            spec = self.events[name]
+            if spec.blacklist_terms & tokens:
+                continue
+            hits = len(spec.keywords & tokens)
+            if hits >= spec.min_keyword_matches and hits > best_hits:
+                best_event, best_hits = name, hits
+        return best_event
+
+    # -- analyst controls ---------------------------------------------------------
+
+    def make_conservative(self, event: str, min_keyword_matches: int) -> None:
+        """Scale down: require more keyword evidence for this event."""
+        spec = self._spec(event)
+        if min_keyword_matches < spec.min_keyword_matches:
+            raise ValueError("make_conservative can only raise the threshold")
+        spec.min_keyword_matches = min_keyword_matches
+
+    def add_blacklist_term(self, event: str, term: str) -> None:
+        self._spec(event).blacklist_terms.add(term.lower())
+
+    def _spec(self, event: str) -> EventSpec:
+        try:
+            return self.events[event]
+        except KeyError:
+            raise KeyError(f"unknown event {event!r}") from None
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, tweets: Sequence[Tweet]) -> List[EventReport]:
+        reports = []
+        for name in sorted(self.events):
+            assigned = [t for t in tweets if self.assign(t) == name]
+            relevant = [t for t in tweets if t.true_event == name]
+            correct = sum(1 for t in assigned if t.true_event == name)
+            precision = correct / len(assigned) if assigned else 1.0
+            recall = correct / len(relevant) if relevant else 1.0
+            reports.append(EventReport(
+                event=name,
+                precision=precision,
+                recall=recall,
+                assigned=len(assigned),
+            ))
+        return reports

@@ -1,0 +1,119 @@
+"""Entity linking with rule stages.
+
+Mirrors the [3] pipeline steps the paper lists: detect candidate mentions
+of KB entities, then apply rules "to remove overlapping mentions (if both
+'Barack Obama' and 'Obama' are detected, drop 'Obama'), to blacklist
+profanities, slangs, to drop mentions that straddle sentence boundaries,
+and to exert editorial controls".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.kb.kb import KnowledgeBase
+from repro.utils.text import normalize_text
+
+
+@dataclass(frozen=True)
+class Mention:
+    """One detected entity mention (token span in the document)."""
+
+    entity: str
+    surface: str
+    start: int
+    end: int
+
+    def overlaps(self, other: "Mention") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class EntityLinker:
+    """Dictionary-driven mention detection plus the rule stages."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        extra_entities: Iterable[str] = (),
+        blacklist: Iterable[str] = (),
+        editorial_drops: Iterable[str] = (),
+        editorial_keeps: Iterable[str] = (),
+    ):
+        entities: Set[str] = {normalize_text(b) for b in kb.brands()}
+        entities.update(normalize_text(n) for n in kb.nodes() if n not in ("root", "products"))
+        entities.update(normalize_text(e) for e in extra_entities)
+        self.entities = {e for e in entities if e}
+        self.blacklist = {normalize_text(b) for b in blacklist}
+        self.editorial_drops = {normalize_text(e) for e in editorial_drops}
+        self.editorial_keeps = {normalize_text(e) for e in editorial_keeps}
+        self._max_words = max((len(e.split()) for e in self.entities), default=1)
+
+    # Stage 1: candidate detection -------------------------------------------------
+
+    def detect(self, text: str) -> List[Mention]:
+        """All candidate mentions (every entity phrase occurrence)."""
+        # Keep sentence boundaries visible as '.' tokens for stage 3.
+        tokens = normalize_text(text).split()
+        mentions: List[Mention] = []
+        for length in range(self._max_words, 0, -1):
+            for start in range(0, len(tokens) - length + 1):
+                phrase = " ".join(tokens[start : start + length]).strip(".")
+                if phrase in self.entities:
+                    mentions.append(Mention(
+                        entity=phrase,
+                        surface=phrase,
+                        start=start,
+                        end=start + length,
+                    ))
+        mentions.sort(key=lambda m: (m.start, -m.length))
+        return mentions
+
+    # Stage 2..5: rule filters ---------------------------------------------------------
+
+    @staticmethod
+    def drop_overlaps(mentions: Sequence[Mention]) -> List[Mention]:
+        """Keep the longest mention among overlapping ones."""
+        kept: List[Mention] = []
+        for mention in sorted(mentions, key=lambda m: (-m.length, m.start)):
+            if not any(mention.overlaps(existing) for existing in kept):
+                kept.append(mention)
+        kept.sort(key=lambda m: m.start)
+        return kept
+
+    def drop_blacklisted(self, mentions: Sequence[Mention]) -> List[Mention]:
+        return [m for m in mentions if m.entity not in self.blacklist]
+
+    @staticmethod
+    def drop_sentence_straddlers(mentions: Sequence[Mention], text: str) -> List[Mention]:
+        """Drop mentions whose span crosses a sentence boundary."""
+        tokens = normalize_text(text).split()
+        kept = []
+        for mention in mentions:
+            inner = tokens[mention.start : mention.end - 1]
+            if any(token.endswith(".") for token in inner):
+                continue
+            kept.append(mention)
+        return kept
+
+    def apply_editorial(self, mentions: Sequence[Mention]) -> List[Mention]:
+        kept = []
+        for mention in mentions:
+            if mention.entity in self.editorial_drops and mention.entity not in self.editorial_keeps:
+                continue
+            kept.append(mention)
+        return kept
+
+    # Full pipeline -------------------------------------------------------------------------
+
+    def link(self, text: str) -> List[Mention]:
+        mentions = self.detect(text)
+        mentions = self.drop_overlaps(mentions)
+        mentions = self.drop_blacklisted(mentions)
+        mentions = self.drop_sentence_straddlers(mentions, text)
+        mentions = self.apply_editorial(mentions)
+        return mentions

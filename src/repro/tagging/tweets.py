@@ -1,0 +1,85 @@
+"""Synthetic tweet stream for the event-monitoring experiments."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_FILLER = (
+    "just", "saw", "the", "this", "so", "really", "cant", "believe", "lol",
+    "today", "wow", "check", "out", "my", "new", "love", "hate", "need",
+    "great", "awful", "finally", "again", "everyone", "watching", "live",
+)
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """One synthetic tweet with its ground-truth event (or None = noise)."""
+
+    tweet_id: str
+    text: str
+    true_event: Optional[str] = None
+
+
+class TweetGenerator:
+    """Generates event tweets and noise tweets with keyword leakage.
+
+    Noise tweets occasionally contain an event keyword (the ambiguity that
+    makes naive keyword matching imprecise and motivates the rule-based
+    tightening of the monitor).
+    """
+
+    def __init__(
+        self,
+        event_keywords: Dict[str, Sequence[str]],
+        leakage: float = 0.15,
+        seed: int = 0,
+    ):
+        if not event_keywords:
+            raise ValueError("need at least one event")
+        for event, keywords in event_keywords.items():
+            if len(keywords) < 2:
+                raise ValueError(f"event {event!r} needs >= 2 keywords")
+        self.event_keywords = {k: tuple(v) for k, v in event_keywords.items()}
+        if not 0.0 <= leakage <= 1.0:
+            raise ValueError(f"leakage must be in [0, 1], got {leakage}")
+        self.leakage = leakage
+        self.rng = random.Random(seed)
+        self._next_id = 0
+
+    def _tweet(self, words: List[str], event: Optional[str]) -> Tweet:
+        self._next_id += 1
+        self.rng.shuffle(words)
+        return Tweet(
+            tweet_id=f"tweet-{self._next_id:07d}",
+            text=" ".join(words),
+            true_event=event,
+        )
+
+    def event_tweet(self, event: str) -> Tweet:
+        keywords = self.event_keywords[event]
+        picked = self.rng.sample(keywords, k=min(len(keywords), self.rng.randint(2, 3)))
+        filler = [self.rng.choice(_FILLER) for _ in range(self.rng.randint(3, 8))]
+        return self._tweet(picked + filler, event)
+
+    def noise_tweet(self) -> Tweet:
+        words = [self.rng.choice(_FILLER) for _ in range(self.rng.randint(5, 10))]
+        if self.rng.random() < self.leakage:
+            event = self.rng.choice(sorted(self.event_keywords))
+            words.append(self.rng.choice(self.event_keywords[event]))
+        return self._tweet(words, None)
+
+    def stream(self, count: int, event_fraction: float = 0.4) -> List[Tweet]:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if not 0.0 <= event_fraction <= 1.0:
+            raise ValueError(f"event_fraction must be in [0, 1], got {event_fraction}")
+        tweets = []
+        events = sorted(self.event_keywords)
+        for _ in range(count):
+            if self.rng.random() < event_fraction:
+                tweets.append(self.event_tweet(self.rng.choice(events)))
+            else:
+                tweets.append(self.noise_tweet())
+        return tweets

@@ -1,0 +1,32 @@
+"""Shared utilities: text processing, statistics, and deterministic simulation.
+
+Everything stochastic in the library takes an explicit ``random.Random`` /
+``numpy`` seed, and everything time-based flows through
+:class:`~repro.utils.clock.SimClock`, so experiments are reproducible.
+"""
+
+from repro.utils.clock import SimClock
+from repro.utils.sampling import reservoir_sample, stratified_sample
+from repro.utils.stats import mean, wilson_interval
+from repro.utils.text import (
+    STOPWORDS,
+    ngrams,
+    normalize_text,
+    tokenize,
+)
+from repro.utils.vectors import SparseVector, cosine_similarity, mean_vector
+
+__all__ = [
+    "STOPWORDS",
+    "SimClock",
+    "SparseVector",
+    "cosine_similarity",
+    "mean",
+    "mean_vector",
+    "ngrams",
+    "normalize_text",
+    "reservoir_sample",
+    "stratified_sample",
+    "tokenize",
+    "wilson_interval",
+]

@@ -1,0 +1,49 @@
+"""Deterministic simulation clock.
+
+Industrial rule systems are "never ending" (section 2.2): batches arrive over
+days, rules carry creation timestamps, analysts have a daily rule-writing
+throughput. All of that needs a notion of time that is reproducible in tests,
+so the library never reads the wall clock; it advances a :class:`SimClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock, in fractional days.
+
+    >>> clock = SimClock()
+    >>> clock.advance(hours=12)
+    >>> clock.now
+    0.5
+    >>> clock.day
+    0
+    """
+
+    now: float = 0.0
+    _history: list = field(default_factory=list, repr=False)
+
+    @property
+    def day(self) -> int:
+        """The integer day index of the current time."""
+        return int(self.now)
+
+    def advance(self, days: float = 0.0, hours: float = 0.0, minutes: float = 0.0) -> None:
+        """Advance the clock; negative deltas are rejected."""
+        delta = days + hours / 24.0 + minutes / (24.0 * 60.0)
+        if delta < 0:
+            raise ValueError(f"clock cannot move backwards (delta={delta})")
+        self.now += delta
+
+    def stamp(self, label: str) -> float:
+        """Record a labelled timestamp and return the current time."""
+        self._history.append((self.now, label))
+        return self.now
+
+    @property
+    def history(self) -> list:
+        """Labelled timestamps recorded so far, as (time, label) pairs."""
+        return list(self._history)

@@ -1,0 +1,83 @@
+"""Deterministic sampling helpers (seeded ``random.Random`` everywhere)."""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def reservoir_sample(items: Iterable[T], k: int, rng: random.Random) -> List[T]:
+    """Uniform sample of up to ``k`` items from a (possibly huge) stream.
+
+    The result order is arbitrary but deterministic given ``rng``. Used to
+    sample classification results for crowd evaluation without materializing
+    the full result set.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    reservoir: List[T] = []
+    for index, item in enumerate(items):
+        if index < k:
+            reservoir.append(item)
+        else:
+            slot = rng.randint(0, index)
+            if slot < k:
+                reservoir[slot] = item
+    return reservoir
+
+
+def stratified_sample(
+    items: Sequence[T],
+    key: Callable[[T], str],
+    per_stratum: int,
+    rng: random.Random,
+) -> List[T]:
+    """Sample up to ``per_stratum`` items from each stratum of ``items``.
+
+    The evaluation pipelines stratify crowd samples by predicted type so that
+    tail types are represented (section 4's "tail rules" problem).
+    """
+    strata: Dict[str, List[T]] = defaultdict(list)
+    for item in items:
+        strata[key(item)].append(item)
+    sample: List[T] = []
+    for stratum in sorted(strata):
+        members = strata[stratum]
+        if len(members) <= per_stratum:
+            sample.extend(members)
+        else:
+            sample.extend(rng.sample(members, per_stratum))
+    return sample
+
+
+def weighted_choice(weights: Dict[T, float], rng: random.Random) -> T:
+    """Pick a key of ``weights`` with probability proportional to its value."""
+    if not weights:
+        raise ValueError("weighted_choice over empty weights")
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    pick = rng.random() * total
+    running = 0.0
+    chosen = None
+    for key in sorted(weights, key=repr):
+        running += weights[key]
+        chosen = key
+        if pick <= running:
+            break
+    return chosen
+
+
+def split_train_test(
+    items: Sequence[T], test_fraction: float, rng: random.Random
+) -> tuple:
+    """Shuffle and split ``items`` into (train, test) lists."""
+    if not 0 <= test_fraction <= 1:
+        raise ValueError(f"test_fraction must be in [0, 1], got {test_fraction}")
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    cut = int(round(len(shuffled) * (1 - test_fraction)))
+    return shuffled[:cut], shuffled[cut:]

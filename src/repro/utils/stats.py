@@ -1,0 +1,61 @@
+"""Small statistics helpers used by the crowd estimators and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input rather than returning NaN."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Used to turn crowd-verified samples into precision estimates with error
+    bars (the paper's pipelines accept a batch only when the *estimated*
+    precision clears the 92% floor).
+
+    >>> low, high = wilson_interval(92, 100)
+    >>> 0.84 < low < 0.92 < high < 0.97
+    True
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes={successes} outside [0, {trials}]")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def harmonic_mean(a: float, b: float) -> float:
+    """Harmonic mean of two non-negative numbers; 0 if either is 0."""
+    if a < 0 or b < 0:
+        raise ValueError("harmonic mean requires non-negative inputs")
+    if a + b == 0:
+        return 0.0
+    return 2 * a * b / (a + b)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """F1 = harmonic mean of precision and recall."""
+    return harmonic_mean(precision, recall)
+
+
+def sample_size_for_margin(margin: float, z: float = 1.96, p: float = 0.5) -> int:
+    """Sample size needed to estimate a proportion within ``margin``.
+
+    Benchmarks use this to size crowd samples the way the paper's team would
+    size an evaluation batch.
+    """
+    if not 0 < margin < 1:
+        raise ValueError(f"margin must be in (0, 1), got {margin}")
+    n = (z * z * p * (1 - p)) / (margin * margin)
+    return int(math.ceil(n))

@@ -1,0 +1,123 @@
+"""Text normalization and tokenization shared by every subsystem.
+
+The paper's rules operate on product titles after light preprocessing
+("lowercasing and removing certain stop words and characters that we have
+manually compiled in a dictionary", section 5.2). This module is that
+dictionary plus the tokenizer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+# Stop words the analysts' preprocessing removes before sequence mining.
+# Deliberately small: product titles are terse and most tokens carry signal.
+STOPWORDS = frozenset(
+    """
+    a an and at by for from in of on or the to with w/
+    """.split()
+)
+
+# Characters stripped from titles before tokenization (keeps alphanumerics,
+# whitespace and intra-word hyphens/slashes which appear in sizes like "13-293snb").
+_STRIP_CHARS = re.compile(r"[^\w\s/\-.]")
+_TOKEN = re.compile(r"[a-z0-9][a-z0-9\-./]*")
+_MULTISPACE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase ``text`` and strip punctuation the rule pipeline ignores.
+
+    >>> normalize_text("Dickies 38in. x 30in. Indigo Blue Jeans!")
+    'dickies 38in. x 30in. indigo blue jeans'
+    """
+    lowered = text.lower()
+    stripped = _STRIP_CHARS.sub(" ", lowered)
+    return _MULTISPACE.sub(" ", stripped).strip()
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
+    """Split ``text`` into normalized tokens.
+
+    >>> tokenize("Men's Relaxed Fit Denim Jeans, 2 Pack")
+    ['men', 's', 'relaxed', 'fit', 'denim', 'jeans', '2', 'pack']
+    """
+    tokens = _TOKEN.findall(normalize_text(text))
+    cleaned = [token.strip(".-/") for token in tokens]
+    kept = [token for token in cleaned if token]
+    if drop_stopwords:
+        kept = [token for token in kept if token not in STOPWORDS]
+    return kept
+
+
+def ngrams(tokens: Sequence[str], n: int) -> Iterator[Tuple[str, ...]]:
+    """Yield contiguous ``n``-grams from ``tokens``.
+
+    >>> list(ngrams(["a", "b", "c"], 2))
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    for start in range(len(tokens) - n + 1):
+        yield tuple(tokens[start : start + n])
+
+
+def char_ngrams(text: str, n: int) -> List[str]:
+    """Character n-grams of a normalized string, used by EM similarity.
+
+    The paper's example EM rule tokenizes titles into 3-grams
+    (``jaccard.3g(a.title, b.title)``).
+
+    >>> char_ngrams("abcd", 3)
+    ['abc', 'bcd']
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    compact = normalize_text(text).replace(" ", "_")
+    if len(compact) < n:
+        return [compact] if compact else []
+    return [compact[i : i + n] for i in range(len(compact) - n + 1)]
+
+
+def contains_word_sequence(title_tokens: Sequence[str], sequence: Sequence[str]) -> bool:
+    """True if ``sequence`` appears in order (not necessarily contiguously).
+
+    This is the semantics of the section 5.2 generated rules
+    ``a1.*a2.*...*an -> t``: "the tokens in the sequence appear in that
+    order (not necessarily consecutively) in the title".
+
+    >>> contains_word_sequence(["denim", "blue", "jeans"], ["denim", "jeans"])
+    True
+    >>> contains_word_sequence(["jeans", "denim"], ["denim", "jeans"])
+    False
+    """
+    if not sequence:
+        return True
+    position = 0
+    for token in title_tokens:
+        if token == sequence[position]:
+            position += 1
+            if position == len(sequence):
+                return True
+    return False
+
+
+def window(tokens: Sequence[str], center_start: int, center_end: int, size: int) -> Tuple[List[str], List[str]]:
+    """Return (prefix, suffix) windows of ``size`` tokens around a span.
+
+    Used by the synonym tool's context extraction ("currently set to be 5
+    words before and after the candidate synonym", section 5.1).
+    """
+    prefix = list(tokens[max(0, center_start - size) : center_start])
+    suffix = list(tokens[center_end : center_end + size])
+    return prefix, suffix
+
+
+def join_phrases(phrases: Iterable[str]) -> str:
+    """Render a list of phrases as a regex disjunction body.
+
+    >>> join_phrases(["motor", "engine"])
+    'motor|engine'
+    """
+    return "|".join(phrases)

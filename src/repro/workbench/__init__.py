@@ -1,0 +1,14 @@
+"""The analyst rule workbench.
+
+Section 4's rule-development loop: "the analyst often needs to run
+variations of rule R repeatedly on a development data set D" — and before
+deploying, needs to know what the rule hits, how precise it looks, and what
+it would fight with. The workbench packages those checks over an indexed
+development set: fast previews, crowd/oracle precision estimates, conflict
+detection against the deployed rule base, and blacklist suggestions mined
+from the rule's own false positives.
+"""
+
+from repro.workbench.workbench import RulePreview, RuleWorkbench
+
+__all__ = ["RulePreview", "RuleWorkbench"]

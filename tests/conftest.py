@@ -1,0 +1,53 @@
+"""Shared fixtures: a seed taxonomy, generators, and small corpora.
+
+Session-scoped where the object is immutable-in-practice, function-scoped
+where tests mutate (taxonomy splits, drift).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.utils.clock import SimClock
+
+
+@pytest.fixture(scope="session")
+def taxonomy():
+    """The hand-authored seed taxonomy (do not mutate in tests)."""
+    return build_seed_taxonomy()
+
+
+@pytest.fixture()
+def mutable_taxonomy():
+    """A fresh taxonomy per test, safe to mutate."""
+    return build_seed_taxonomy()
+
+
+@pytest.fixture()
+def generator(taxonomy):
+    """A fresh seeded generator per test."""
+    return CatalogGenerator(taxonomy, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def corpus_items():
+    """A shared read-only item sample (session-scoped for speed)."""
+    gen = CatalogGenerator(build_seed_taxonomy(), seed=42)
+    return gen.generate_items(1500)
+
+
+@pytest.fixture(scope="session")
+def corpus_titles(corpus_items):
+    return [item.title for item in corpus_items]
+
+
+@pytest.fixture(scope="session")
+def labeled_training():
+    gen = CatalogGenerator(build_seed_taxonomy(), seed=77)
+    return gen.generate_labeled(2500)
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()

@@ -1,0 +1,119 @@
+"""Tests for the simulated analyst."""
+
+import pytest
+
+from repro.analyst import AnalystStats, SimulatedAnalyst, head_pattern
+from repro.core import BlacklistRule, WhitelistRule
+from repro.utils.clock import SimClock
+
+
+class TestHeadPattern:
+    def test_single_word(self):
+        assert head_pattern("ring") == "rings?"
+
+    def test_multi_word(self):
+        assert head_pattern("laptop bag") == r"laptop\ bags?"
+
+    def test_already_plural(self):
+        assert head_pattern("sunglasses") == "sunglasses"
+
+    def test_pattern_matches_both_forms(self):
+        rule = WhitelistRule(head_pattern("area rug"), "area rugs")
+        from repro.catalog.types import ProductItem
+        assert rule.matches(ProductItem(item_id="1", title="shaw area rug"))
+        assert rule.matches(ProductItem(item_id="2", title="shaw area rugs"))
+
+
+@pytest.fixture()
+def analyst(taxonomy, clock):
+    return SimulatedAnalyst(taxonomy, clock=clock, seed=11)
+
+
+@pytest.fixture()
+def perfect_analyst(taxonomy, clock):
+    return SimulatedAnalyst(
+        taxonomy, clock=clock, seed=11,
+        verification_accuracy=1.0, labeling_accuracy=1.0,
+        synonym_judgement_accuracy=1.0,
+    )
+
+
+class TestJudgements:
+    def test_verify_pair_mostly_truthful(self, analyst, generator):
+        right = wrong = 0
+        for _ in range(200):
+            item = generator.generate_item("rings")
+            if analyst.verify_pair(item, "rings"):
+                right += 1
+            if analyst.verify_pair(item, "books"):
+                wrong += 1
+        assert right >= 185
+        assert wrong <= 15
+
+    def test_judge_synonym_uses_slot(self, perfect_analyst):
+        assert perfect_analyst.judge_synonym("motor oil", "vehicle", "truck")
+        assert not perfect_analyst.judge_synonym("motor oil", "vehicle", "olive")
+
+    def test_judge_synonym_unknown_slot(self, perfect_analyst):
+        with pytest.raises(KeyError):
+            perfect_analyst.judge_synonym("motor oil", "nope", "truck")
+
+    def test_label_items_accuracy(self, perfect_analyst, generator):
+        items = generator.generate_items(50)
+        labeled = perfect_analyst.label_items(items)
+        assert all(l.label == i.true_type for l, i in zip(labeled, items))
+        assert perfect_analyst.stats.items_labeled == 50
+
+
+class TestRuleWriting:
+    def test_obvious_rules_cover_heads(self, analyst, taxonomy):
+        rules = analyst.obvious_rules("handbags")
+        assert len(rules) == len(taxonomy.get("handbags").heads)
+        assert all(isinstance(r, WhitelistRule) for r in rules)
+        assert all(r.target_type == "handbags" for r in rules)
+
+    def test_writing_advances_clock(self, analyst, clock):
+        before = clock.now
+        analyst.obvious_rules("rings")
+        assert clock.now > before
+        assert analyst.stats.rules_written >= 1
+
+    def test_throughput_rate(self, taxonomy, clock):
+        analyst = SimulatedAnalyst(taxonomy, clock=clock, rules_per_day=40, seed=0)
+        analyst.obvious_rules("rings")  # one head, one rule
+        assert clock.now == pytest.approx(1 / 40)
+
+    def test_patch_rules_for_errors(self, perfect_analyst, generator):
+        # A keychain item misclassified as rings -> blacklist on "key rings?"
+        # plus a whitelist for the true type if its head is in the title.
+        errors = []
+        for _ in range(5):
+            keychain = generator.generate_item("keychains")
+            if "key ring" in keychain.title:
+                errors.append((keychain, "rings"))
+        assert errors, "generator should produce key-ring titles"
+        whitelists, blacklists = perfect_analyst.patch_rules_for_errors(errors)
+        assert any(isinstance(rule, BlacklistRule) and rule.target_type == "rings"
+                   for rule in blacklists)
+        for rule in blacklists:
+            assert rule.matches(errors[0][0])
+
+    def test_patch_rules_deduplicated(self, perfect_analyst, generator):
+        keychain = generator.generate_item("keychains")
+        errors = [(keychain, "rings")] * 5
+        whitelists, blacklists = perfect_analyst.patch_rules_for_errors(errors)
+        assert len(blacklists) <= 1
+
+    def test_bootstrap_training_data(self, perfect_analyst, generator):
+        items = generator.generate_items(300)
+        labeled = perfect_analyst.bootstrap_training_data(items, "rings")
+        assert labeled, "should find ring titles"
+        assert all(example.label == "rings" for example in labeled)
+
+
+class TestValidation:
+    def test_bad_rates_rejected(self, taxonomy):
+        with pytest.raises(ValueError):
+            SimulatedAnalyst(taxonomy, verification_accuracy=2.0)
+        with pytest.raises(ValueError):
+            SimulatedAnalyst(taxonomy, rules_per_day=0)

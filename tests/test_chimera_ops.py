@@ -1,0 +1,157 @@
+"""Tests for the feedback loop, monitoring, and incident response."""
+
+import pytest
+
+from repro.analyst import SimulatedAnalyst
+from repro.catalog import CatalogGenerator, DriftInjector
+from repro.chimera import (
+    Chimera,
+    FeedbackLoop,
+    IncidentManager,
+    PrecisionMonitor,
+)
+from repro.crowd import CrowdBudget, PrecisionEstimator, VerificationTask, WorkerPool
+
+
+@pytest.fixture()
+def loop_parts(taxonomy, generator, clock):
+    chimera = Chimera.build(seed=2)
+    chimera.add_training(generator.generate_labeled(1500))
+    chimera.retrain(min_examples_per_type=4)
+    analyst = SimulatedAnalyst(taxonomy, clock=clock, seed=3)
+    pool = WorkerPool(seed=4)
+    task = VerificationTask(pool, budget=CrowdBudget(500_000), seed=5)
+    estimator = PrecisionEstimator(task, sample_size=60, seed=6)
+    return chimera, analyst, estimator
+
+
+class TestFeedbackLoop:
+    def test_batches_accepted_above_floor(self, loop_parts, generator):
+        chimera, analyst, estimator = loop_parts
+        loop = FeedbackLoop(chimera, estimator, analyst, precision_floor=0.9)
+        report = loop.process_batch(generator.generate_items(150), "b1")
+        assert report.accepted
+        assert report.true_precision >= 0.85
+
+    def test_rules_accumulate_on_failures(self, loop_parts, generator):
+        chimera, analyst, estimator = loop_parts
+        # An unreasonably high floor forces the patch path.
+        loop = FeedbackLoop(chimera, estimator, analyst, precision_floor=0.999,
+                            max_attempts=2)
+        before = sum(chimera.rule_count().values())
+        report = loop.process_batch(generator.generate_items(150), "b1")
+        after = sum(chimera.rule_count().values())
+        if not report.accepted:
+            assert after > before
+            assert report.rules_added == after - before
+
+    def test_declined_items_become_training(self, loop_parts, generator):
+        chimera, analyst, estimator = loop_parts
+        loop = FeedbackLoop(chimera, estimator, analyst, precision_floor=0.9,
+                            manual_label_budget_per_batch=20)
+        pending_before = chimera.pending_training
+        loop.process_batch(generator.generate_items(150), "b1")
+        assert chimera.pending_training >= pending_before
+
+    def test_invalid_floor(self, loop_parts):
+        chimera, analyst, estimator = loop_parts
+        with pytest.raises(ValueError):
+            FeedbackLoop(chimera, estimator, analyst, precision_floor=1.5)
+
+
+class TestPrecisionMonitor:
+    def test_degradation_detected(self):
+        monitor = PrecisionMonitor(floor=0.92, window=3)
+        monitor.record("b1", 0.0, 0.95, 0.9, 100)
+        assert not monitor.degraded()
+        monitor.record("b2", 1.0, 0.80, 0.9, 100)
+        assert monitor.degraded()
+
+    def test_persistent_degradation(self):
+        monitor = PrecisionMonitor(floor=0.92, window=4)
+        monitor.record("b1", 0.0, 0.85, 0.9, 100)
+        assert not monitor.persistent_degradation(batches=2)
+        monitor.record("b2", 1.0, 0.86, 0.9, 100)
+        assert monitor.persistent_degradation(batches=2)
+
+    def test_suspect_types(self):
+        monitor = PrecisionMonitor(floor=0.92, window=3)
+        monitor.record("b1", 0.0, 0.8, 0.9, 100, errors_by_type={"jeans": 5, "rings": 1})
+        monitor.record("b2", 1.0, 0.8, 0.9, 100, errors_by_type={"jeans": 7})
+        assert monitor.suspect_types(1) == [("jeans", 12)]
+
+    def test_series(self):
+        monitor = PrecisionMonitor()
+        monitor.record("b1", 0.0, 0.95, 0.90, 10)
+        monitor.record("b2", 1.0, 0.93, 0.91, 10)
+        assert monitor.precision_series() == [("b1", 0.95), ("b2", 0.93)]
+        assert monitor.coverage_series() == [("b1", 0.90), ("b2", 0.91)]
+
+
+class TestIncidents:
+    @pytest.fixture()
+    def prepared(self, taxonomy, generator, clock):
+        chimera = Chimera.build(seed=7)
+        analyst = SimulatedAnalyst(taxonomy, clock=clock, seed=8,
+                                   verification_accuracy=1.0, labeling_accuracy=1.0)
+        chimera.add_whitelist_rules(analyst.obvious_rules("jeans"))
+        chimera.add_training(generator.generate_labeled(1200))
+        chimera.retrain(min_examples_per_type=4)
+        return chimera, analyst
+
+    def test_scale_down_stops_predictions(self, prepared, generator):
+        chimera, analyst = prepared
+        manager = IncidentManager(chimera)
+        incident = manager.open_incident(["jeans"])
+        manager.scale_down(incident)
+        jeans = generator.generate_item("jeans")
+        result = chimera.classify_item(jeans)
+        assert result.label != "jeans"
+        assert incident.status == "scaled-down"
+
+    def test_restore_reenables(self, prepared, generator):
+        chimera, analyst = prepared
+        manager = IncidentManager(chimera)
+        incident = manager.open_incident(["jeans"])
+        manager.scale_down(incident)
+        manager.restore(incident)
+        assert incident.status == "closed"
+        hits = 0
+        for _ in range(20):
+            jeans = generator.generate_item("jeans")
+            if chimera.classify_item(jeans).label == "jeans":
+                hits += 1
+        assert hits >= 15
+
+    def test_repair_adds_rules(self, prepared, generator):
+        chimera, analyst = prepared
+        manager = IncidentManager(chimera)
+        incident = manager.open_incident(["jeans"])
+        manager.scale_down(incident)
+        errors = [(generator.generate_item("jeans"), "shorts") for _ in range(5)]
+        added = manager.repair(incident, analyst, errors)
+        assert added > 0
+        assert incident.status == "repaired"
+
+    def test_invalid_transitions(self, prepared):
+        chimera, analyst = prepared
+        manager = IncidentManager(chimera)
+        incident = manager.open_incident(["jeans"])
+        with pytest.raises(ValueError):
+            manager.restore(incident)
+        manager.scale_down(incident)
+        with pytest.raises(ValueError):
+            manager.scale_down(incident)
+
+    def test_scale_up_onboards_types(self, prepared):
+        chimera, analyst = prepared
+        manager = IncidentManager(chimera)
+        before = chimera.rule_count()["rule-based"]
+        added = manager.scale_up(analyst, ["handbags", "backpacks"])
+        assert added > 0
+        assert chimera.rule_count()["rule-based"] == before + added
+
+    def test_empty_incident_rejected(self, prepared):
+        chimera, _ = prepared
+        with pytest.raises(ValueError):
+            IncidentManager(chimera).open_incident([])

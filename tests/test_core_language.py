@@ -1,0 +1,131 @@
+"""Tests for the analyst rule DSL."""
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.core import (
+    AttributeRule,
+    BlacklistRule,
+    ConstraintRule,
+    DictionaryStore,
+    PredicateRule,
+    RuleParseError,
+    UnknownDictionaryError,
+    ValueConstraintRule,
+    WhitelistRule,
+    parse_rule,
+    parse_rules,
+)
+
+
+def item(title, **attributes):
+    return ProductItem(item_id="i", title=title, attributes=attributes)
+
+
+class TestParseRule:
+    def test_whitelist(self):
+        rule = parse_rule("rings? -> rings")
+        assert isinstance(rule, WhitelistRule)
+        assert rule.target_type == "rings"
+
+    def test_blacklist(self):
+        rule = parse_rule("key rings? -> NOT rings")
+        assert isinstance(rule, BlacklistRule)
+
+    def test_attribute(self):
+        rule = parse_rule("attr(isbn) -> books")
+        assert isinstance(rule, AttributeRule)
+        assert rule.matches(item("x", isbn="978"))
+
+    def test_value_constraint(self):
+        rule = parse_rule("value(brand_name)=apple -> laptop computers|smart phones")
+        assert isinstance(rule, ValueConstraintRule)
+        assert rule.allowed_types == ("laptop computers", "smart phones")
+
+    def test_predicate_with_price(self):
+        rule = parse_rule("apple & price < 100 -> NOT smart phones")
+        assert isinstance(rule, PredicateRule)
+        assert rule.is_blacklist
+        assert rule.matches(item("apple charger", price="49.99"))
+        assert not rule.matches(item("apple iphone", price="699"))
+        assert not rule.matches(item("apple charger"))  # missing price
+
+    def test_title_tilde_form(self):
+        rule = parse_rule("title ~ (wedding bands?) -> rings")
+        assert isinstance(rule, WhitelistRule)
+        assert rule.matches(item("platinaire wedding band"))
+
+    def test_dictionary_clause(self):
+        store = DictionaryStore({"pc_words": ["desktop", "tower pc"]})
+        rule = parse_rule("dict(pc_words) -> laptop computers|desktop computers",
+                          dictionaries=store)
+        assert isinstance(rule, ConstraintRule)
+        assert rule.matches(item("gaming tower pc"))
+        assert not rule.matches(item("gaming mouse"))
+
+    def test_unknown_dictionary(self):
+        store = DictionaryStore({"a": ["x"]})
+        with pytest.raises(UnknownDictionaryError):
+            parse_rule("dict(missing) -> t", dictionaries=store)
+
+    def test_dictionary_without_store(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("dict(x) -> t")
+
+    def test_multi_clause_conjunction(self):
+        rule = parse_rule("apple & attr(storage) -> smart phones")
+        assert rule.matches(item("apple 64gb", storage="64gb"))
+        assert not rule.matches(item("apple 64gb"))
+
+    def test_missing_arrow(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("no arrow here")
+
+    def test_empty_condition(self):
+        with pytest.raises(RuleParseError):
+            parse_rule(" -> rings")
+
+    def test_empty_target(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("rings? -> ")
+
+    def test_not_with_multiple_targets_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("x -> NOT a|b")
+
+    def test_bad_regex_reported(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("(unclosed -> rings")
+
+    def test_metadata_passthrough(self):
+        rule = parse_rule("rings? -> rings", author="kay", confidence=0.8)
+        assert rule.author == "kay"
+        assert rule.confidence == 0.8
+
+
+class TestParseRules:
+    def test_block_with_comments(self):
+        rules = parse_rules("""
+            # whitelists
+            rings? -> rings
+            jeans? -> jeans   # trailing comment
+
+            key rings? -> NOT rings
+        """)
+        assert len(rules) == 3
+        assert sum(1 for r in rules if r.is_blacklist) == 1
+
+    def test_empty_block(self):
+        assert parse_rules("\n# nothing\n") == []
+
+
+class TestDictionaryStore:
+    def test_register_and_get(self):
+        store = DictionaryStore()
+        store.register("brands", ["Apple", "  dell "])
+        assert store.get("brands") == ("apple", "dell")
+        assert "brands" in store
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryStore({"empty": ["  "]})

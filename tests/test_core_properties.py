@@ -1,0 +1,75 @@
+"""Tests for rule-system property checks (order independence etc.)."""
+
+from repro.catalog.types import ProductItem
+from repro.core import (
+    RuleSet,
+    annihilated_items,
+    check_order_independence,
+    parse_rules,
+    stage_partition,
+    whitelist_conflicts,
+)
+
+
+def item(title):
+    return ProductItem(item_id=title[:24], title=title)
+
+
+ITEMS = [
+    item("diamond ring"),
+    item("key ring carabiner"),
+    item("wedding band platinaire"),
+    item("denim jeans"),
+    item("area rug 5x7"),
+]
+
+
+def build_ruleset():
+    return RuleSet(parse_rules("""
+        rings? -> rings
+        wedding bands? -> rings
+        jeans? -> jeans
+        denim.*jeans? -> jeans
+        key rings? -> NOT rings
+    """))
+
+
+class TestOrderIndependence:
+    def test_holds_for_staged_ruleset(self):
+        report = check_order_independence(build_ruleset(), ITEMS, trials=8, seed=3)
+        assert report.holds
+        assert report.trials == 8
+        assert report.items_checked == len(ITEMS)
+
+    def test_report_fields_on_pass(self):
+        report = check_order_independence(build_ruleset(), [], trials=2)
+        assert report.holds and report.first_violation == ""
+
+
+class TestConflicts:
+    def test_detects_cross_type_whitelist_conflict(self):
+        rules = RuleSet(parse_rules("""
+            rings? -> rings
+            key.* -> keychains
+        """))
+        conflicts = whitelist_conflicts(rules, ITEMS)
+        assert len(conflicts) == 1
+        conflicted_item, labels = conflicts[0]
+        assert "key ring" in conflicted_item.title
+        assert labels == ["keychains", "rings"]
+
+    def test_no_conflicts_in_clean_set(self):
+        assert whitelist_conflicts(build_ruleset(), ITEMS) == []
+
+
+class TestAnnihilation:
+    def test_blacklist_wiping_all_votes_detected(self):
+        wiped = annihilated_items(build_ruleset(), ITEMS)
+        assert [i.title for i in wiped] == ["key ring carabiner"]
+
+
+def test_stage_partition():
+    rules = build_ruleset()
+    rules.disable(next(iter(rules)).rule_id)
+    partition = stage_partition(rules)
+    assert partition == {"whitelist": 3, "constraint": 0, "blacklist": 1, "disabled": 1}

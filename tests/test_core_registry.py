@@ -1,0 +1,111 @@
+"""Tests for the rule registry lifecycle and audit trail."""
+
+import pytest
+
+from repro.core import (
+    DuplicateRuleError,
+    LifecycleError,
+    RuleRegistry,
+    RuleStatus,
+    UnknownRuleError,
+    WhitelistRule,
+)
+from repro.utils.clock import SimClock
+
+
+@pytest.fixture()
+def registry(clock):
+    return RuleRegistry(clock=clock)
+
+
+class TestLifecycle:
+    def test_submit_starts_draft(self, registry):
+        rule_id = registry.submit(WhitelistRule("rings?", "rings"))
+        assert registry.status_of(rule_id) is RuleStatus.DRAFT
+        assert not registry.get(rule_id).enabled
+
+    def test_full_happy_path(self, registry):
+        rule_id = registry.submit(WhitelistRule("rings?", "rings"))
+        registry.validate(rule_id, precision_estimate=0.95)
+        registry.deploy(rule_id)
+        assert registry.status_of(rule_id) is RuleStatus.DEPLOYED
+        assert registry.get(rule_id).enabled
+        registry.disable(rule_id, reason="incident")
+        assert not registry.get(rule_id).enabled
+        registry.deploy(rule_id)  # re-enable after incident
+        registry.retire(rule_id)
+        assert registry.status_of(rule_id) is RuleStatus.RETIRED
+
+    def test_cannot_deploy_unvalidated(self, registry):
+        rule_id = registry.submit(WhitelistRule("a", "t"))
+        with pytest.raises(LifecycleError):
+            registry.deploy(rule_id)
+
+    def test_retired_is_terminal(self, registry):
+        rule_id = registry.submit(WhitelistRule("a", "t"))
+        registry.retire(rule_id)
+        with pytest.raises(LifecycleError):
+            registry.validate(rule_id, 0.9)
+
+    def test_duplicate_submit(self, registry):
+        rule = WhitelistRule("a", "t")
+        registry.submit(rule)
+        with pytest.raises(DuplicateRuleError):
+            registry.submit(rule)
+
+    def test_unknown_rule(self, registry):
+        with pytest.raises(UnknownRuleError):
+            registry.deploy("nope")
+
+    def test_precision_estimate_bounds(self, registry):
+        rule_id = registry.submit(WhitelistRule("a", "t"))
+        with pytest.raises(ValueError):
+            registry.validate(rule_id, 1.5)
+
+
+class TestRevision:
+    def test_revise_bumps_version_and_resets_validation(self, registry):
+        rule_id = registry.submit(WhitelistRule("rings?", "rings"))
+        registry.validate(rule_id, 0.95)
+        registry.deploy(rule_id)
+        registry.revise(rule_id, WhitelistRule("(wedding )?rings?", "rings"))
+        assert registry.status_of(rule_id) is RuleStatus.DRAFT
+        assert registry.precision_of(rule_id) is None
+        assert registry.get(rule_id).pattern == "(wedding )?rings?"
+
+
+class TestQueries:
+    def test_query_filters(self, registry):
+        a = registry.submit(WhitelistRule("a", "rings", author="kay"))
+        b = registry.submit(WhitelistRule("b", "books", author="lee"))
+        registry.validate(a, 0.9)
+        registry.deploy(a)
+        assert [r.rule_id for r in registry.query(status=RuleStatus.DEPLOYED)] == [a]
+        assert [r.rule_id for r in registry.query(author="lee")] == [b]
+        assert [r.rule_id for r in registry.query(target_type="rings")] == [a]
+
+    def test_deployed_ruleset(self, registry):
+        a = registry.submit(WhitelistRule("rings?", "rings"))
+        registry.validate(a, 0.9)
+        registry.deploy(a)
+        registry.submit(WhitelistRule("b", "books"))
+        deployed = registry.deployed_ruleset()
+        assert len(deployed) == 1
+
+    def test_counts_by_status(self, registry):
+        registry.submit(WhitelistRule("a", "t"))
+        counts = registry.counts_by_status()
+        assert counts["draft"] == 1
+        assert counts["deployed"] == 0
+
+
+class TestAudit:
+    def test_audit_records_actor_and_time(self, registry, clock):
+        rule_id = registry.submit(WhitelistRule("a", "t"), actor="kay")
+        clock.advance(days=1)
+        registry.validate(rule_id, 0.9, actor="crowd-pipeline")
+        trail = registry.audit_for(rule_id)
+        assert [(e.actor, e.action) for e in trail] == [
+            ("kay", "submit"), ("crowd-pipeline", "validated"),
+        ]
+        assert trail[1].at == 1.0

@@ -1,0 +1,79 @@
+"""Tests for rule serialization round-trips."""
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.core import (
+    AttributeRule,
+    BlacklistRule,
+    PredicateRule,
+    SequenceRule,
+    ValueConstraintRule,
+    WhitelistRule,
+    parse_rule,
+)
+from repro.core.rule import Clause
+from repro.core.serialize import (
+    UnserializableRuleError,
+    rule_from_dict,
+    rule_to_dict,
+    rules_from_dicts,
+    rules_to_dicts,
+)
+
+EXAMPLES = [
+    WhitelistRule("rings?", "rings", author="kay", confidence=0.9),
+    BlacklistRule("key rings?", "rings"),
+    SequenceRule(("denim", "jeans"), "jeans", support=0.25, confidence=0.8),
+    AttributeRule("isbn", "books"),
+    ValueConstraintRule("brand_name", "apple", ["laptop computers", "smart phones"]),
+]
+
+
+@pytest.mark.parametrize("rule", EXAMPLES, ids=lambda r: type(r).__name__)
+def test_round_trip_preserves_behavior(rule):
+    clone = rule_from_dict(rule_to_dict(rule))
+    assert type(clone) is type(rule)
+    assert clone.rule_id == rule.rule_id
+    assert clone.target_type == rule.target_type
+    assert clone.confidence == rule.confidence
+    probe_items = [
+        ProductItem(item_id="1", title="diamond ring"),
+        ProductItem(item_id="2", title="key ring"),
+        ProductItem(item_id="3", title="denim blue jeans"),
+        ProductItem(item_id="4", title="novel", attributes={"isbn": "978"}),
+        ProductItem(item_id="5", title="macbook", attributes={"brand_name": "apple"}),
+    ]
+    for item in probe_items:
+        assert clone.matches(item) == rule.matches(item)
+
+
+def test_disabled_flag_round_trips():
+    rule = WhitelistRule("a", "t")
+    rule.enabled = False
+    assert rule_from_dict(rule_to_dict(rule)).enabled is False
+
+
+def test_predicate_rule_not_serializable():
+    rule = PredicateRule([Clause("x", lambda item: True)], "t")
+    with pytest.raises(UnserializableRuleError):
+        rule_to_dict(rule)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(UnserializableRuleError):
+        rule_from_dict({"kind": "mystery", "target_type": "t"})
+
+
+def test_bulk_round_trip():
+    payloads = rules_to_dicts(EXAMPLES)
+    clones = rules_from_dicts(payloads)
+    assert [c.rule_id for c in clones] == [r.rule_id for r in EXAMPLES]
+
+
+def test_json_compatible():
+    import json
+
+    payload = json.dumps(rules_to_dicts(EXAMPLES))
+    clones = rules_from_dicts(json.loads(payload))
+    assert len(clones) == len(EXAMPLES)

@@ -1,0 +1,149 @@
+"""Tests for the crowdsourcing substrate."""
+
+import random
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.crowd import (
+    BudgetExhausted,
+    CrowdBudget,
+    CrowdWorker,
+    PrecisionEstimator,
+    VerificationTask,
+    WorkerPool,
+)
+
+
+def item(title, true_type):
+    return ProductItem(item_id=title[:24], title=title, true_type=true_type)
+
+
+class TestWorker:
+    def test_perfect_worker_truthful(self):
+        worker = CrowdWorker("w", accuracy=1.0)
+        rng = random.Random(0)
+        ring = item("gold ring", "rings")
+        assert worker.answer(ring, "rings", rng) is True
+        assert worker.answer(ring, "books", rng) is False
+
+    def test_zero_accuracy_inverts(self):
+        worker = CrowdWorker("w", accuracy=0.0)
+        rng = random.Random(0)
+        ring = item("gold ring", "rings")
+        assert worker.answer(ring, "rings", rng) is False
+
+    def test_accuracy_bounds(self):
+        with pytest.raises(ValueError):
+            CrowdWorker("w", accuracy=1.2)
+
+
+class TestWorkerPool:
+    def test_deterministic(self):
+        a = WorkerPool(size=10, seed=4)
+        b = WorkerPool(size=10, seed=4)
+        assert [w.accuracy for w in a.workers] == [w.accuracy for w in b.workers]
+
+    def test_accuracies_in_range(self):
+        pool = WorkerPool(size=50, accuracy_range=(0.7, 0.9), seed=0)
+        assert all(0.7 <= w.accuracy <= 0.9 for w in pool.workers)
+
+    def test_draw_distinct(self):
+        pool = WorkerPool(size=10, seed=0)
+        drawn = pool.draw(5)
+        assert len({w.worker_id for w in drawn}) == 5
+
+    def test_draw_too_many(self):
+        with pytest.raises(ValueError):
+            WorkerPool(size=3, seed=0).draw(5)
+
+
+class TestVerificationTask:
+    def test_majority_voting_mostly_right(self):
+        pool = WorkerPool(size=30, accuracy_range=(0.85, 0.98), seed=1)
+        task = VerificationTask(pool, votes_per_pair=5, seed=2)
+        ring = item("gold ring", "rings")
+        verdicts = [task.verify_pair(ring, "rings") for _ in range(100)]
+        assert sum(1 for v in verdicts if v.approved) >= 95
+
+    def test_wrong_pairs_rejected(self):
+        pool = WorkerPool(size=30, accuracy_range=(0.85, 0.98), seed=1)
+        task = VerificationTask(pool, votes_per_pair=5, seed=2)
+        ring = item("gold ring", "rings")
+        verdicts = [task.verify_pair(ring, "books") for _ in range(100)]
+        assert sum(1 for v in verdicts if v.approved) <= 5
+
+    def test_even_votes_rejected(self):
+        with pytest.raises(ValueError):
+            VerificationTask(WorkerPool(seed=0), votes_per_pair=4)
+
+    def test_budget_charged(self):
+        budget = CrowdBudget(9)
+        task = VerificationTask(WorkerPool(seed=0), budget=budget, votes_per_pair=3)
+        ring = item("gold ring", "rings")
+        task.verify_pair(ring, "rings")
+        task.verify_pair(ring, "rings")
+        task.verify_pair(ring, "rings")
+        assert budget.remaining == 0
+        with pytest.raises(BudgetExhausted):
+            task.verify_pair(ring, "rings")
+
+
+class TestBudget:
+    def test_accounting(self):
+        budget = CrowdBudget(10, cost_per_answer=2.0)
+        budget.charge(3)
+        assert budget.spent == 6.0 and budget.answers == 3
+        assert budget.can_afford(2)
+        assert not budget.can_afford(3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CrowdBudget(-1)
+        with pytest.raises(ValueError):
+            CrowdBudget(10).charge(-1)
+
+
+class TestPrecisionEstimator:
+    def _pairs(self, correct, wrong):
+        pairs = []
+        for index in range(correct):
+            pairs.append((item(f"ring {index}", "rings"), "rings"))
+        for index in range(wrong):
+            pairs.append((item(f"rug {index}", "area rugs"), "rings"))
+        return pairs
+
+    def test_estimates_near_truth(self):
+        pool = WorkerPool(size=40, accuracy_range=(0.9, 0.99), seed=3)
+        task = VerificationTask(pool, seed=4)
+        estimator = PrecisionEstimator(task, sample_size=150, seed=5)
+        estimate, verdicts = estimator.estimate(self._pairs(80, 20))
+        assert abs(estimate.point - 0.8) < 0.1
+        assert estimate.low < estimate.point < estimate.high
+        assert len(verdicts) == 100  # whole set is smaller than sample cap
+
+    def test_clears_floor(self):
+        pool = WorkerPool(size=40, accuracy_range=(0.95, 0.99), seed=3)
+        task = VerificationTask(pool, seed=4)
+        estimator = PrecisionEstimator(task, sample_size=100, seed=5)
+        estimate, _ = estimator.estimate(self._pairs(98, 2))
+        assert estimate.clears(0.92)
+        estimate2, _ = estimator.estimate(self._pairs(60, 40))
+        assert not estimate2.clears(0.92)
+
+    def test_empty_rejected(self):
+        pool = WorkerPool(seed=0)
+        estimator = PrecisionEstimator(VerificationTask(pool))
+        with pytest.raises(ValueError):
+            estimator.estimate([])
+
+    def test_rejected_verdicts_flag_errors(self):
+        pool = WorkerPool(size=40, accuracy_range=(0.95, 0.99), seed=3)
+        task = VerificationTask(pool, seed=4)
+        estimator = PrecisionEstimator(task, sample_size=100, seed=5)
+        _, verdicts = estimator.estimate(self._pairs(50, 50))
+        rejected = [v for v in verdicts if not v.approved]
+        # Nearly all rejected pairs should be the genuinely wrong ones.
+        wrong_ids = {f"rug {i}"[:24] for i in range(50)}
+        hits = sum(1 for v in rejected if v.item_id in wrong_ids)
+        assert hits / len(rejected) > 0.9

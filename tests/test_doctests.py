@@ -1,0 +1,29 @@
+"""Run the docstring examples — documentation that must stay true."""
+
+import doctest
+
+import pytest
+
+import repro.analyst.analyst
+import repro.catalog.generator
+import repro.em.similarity
+import repro.rulegen.confidence
+import repro.utils.stats
+import repro.utils.text
+import repro.utils.vectors
+
+MODULES = [
+    repro.analyst.analyst,
+    repro.catalog.generator,
+    repro.em.similarity,
+    repro.rulegen.confidence,
+    repro.utils.stats,
+    repro.utils.text,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"

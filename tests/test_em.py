@@ -1,0 +1,180 @@
+"""Tests for the entity-matching substrate."""
+
+import pytest
+
+from repro.core import RuleParseError
+from repro.em import (
+    LearnedMatcher,
+    Record,
+    RuleBasedMatcher,
+    block_pairs,
+    blocking_recall,
+    exact_match,
+    generate_em_dataset,
+    jaccard_3gram,
+    jaccard_tokens,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein,
+    parse_em_rule,
+    score_matches,
+)
+
+
+class TestSimilarity:
+    def test_jaccard_tokens(self):
+        assert jaccard_tokens("red wool hat", "wool hat") == pytest.approx(2 / 3)
+        assert jaccard_tokens("", "") == 1.0
+        assert jaccard_tokens("a thing", "") == 0.0
+
+    def test_jaccard_3gram_typo_tolerant(self):
+        assert jaccard_3gram("blue jeans", "blue jeens") > 0.4
+        assert jaccard_3gram("blue jeans", "area rug") < 0.2
+
+    def test_levenshtein(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("same", "same") == 0
+        assert levenshtein("ab", "ba") == 2
+
+    def test_levenshtein_cutoff(self):
+        assert levenshtein("aaaaaaa", "bbbbbbb", cutoff=2) == 3  # cutoff+1
+
+    def test_normalized_levenshtein(self):
+        assert normalized_levenshtein("abcd", "abcd") == 1.0
+        assert normalized_levenshtein("", "") == 1.0
+        assert 0 <= normalized_levenshtein("abcd", "wxyz") < 0.5
+
+    def test_jaro_winkler_prefix_bonus(self):
+        assert jaro_winkler("martha", "marhta") > 0.9
+        assert jaro_winkler("abc", "abc") == 1.0
+        assert jaro_winkler("", "x") == 0.0
+
+    def test_exact(self):
+        assert exact_match(" Apple ", "apple") == 1.0
+        assert exact_match("a", "b") == 0.0
+
+
+class TestEmRuleParsing:
+    def test_paper_rule(self):
+        rule = parse_em_rule(
+            "[a.isbn = b.isbn] & [jaccard_3g(a.title, b.title) >= 0.8] -> match"
+        )
+        a = Record("r1", {"isbn": "978", "title": "the long winter book"})
+        b = Record("r2", {"isbn": "978", "title": "the long winter book"})
+        c = Record("r3", {"isbn": "999", "title": "the long winter book"})
+        assert rule.fires(a, b)
+        assert not rule.fires(a, c)
+
+    def test_missing_attribute_never_equal(self):
+        rule = parse_em_rule("a.isbn = b.isbn -> match")
+        a = Record("r1", {"title": "x"})
+        b = Record("r2", {"title": "x"})
+        assert not rule.fires(a, b)
+
+    def test_no_match_decision(self):
+        rule = parse_em_rule("lev_norm(a.title, b.title) < 0.3 -> no_match")
+        assert rule.is_no_match
+
+    def test_tilde_decision_alias(self):
+        rule = parse_em_rule("a.isbn = b.isbn -> a ~ b")
+        assert rule.decision == "match"
+
+    def test_unknown_similarity(self):
+        with pytest.raises(RuleParseError):
+            parse_em_rule("sorcery(a.title, b.title) >= 0.5 -> match")
+
+    def test_garbage_clause(self):
+        with pytest.raises(RuleParseError):
+            parse_em_rule("what even -> match")
+
+
+class TestDatasetAndBlocking:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.catalog import CatalogGenerator, build_seed_taxonomy
+        gen = CatalogGenerator(build_seed_taxonomy(), seed=8)
+        return generate_em_dataset(gen, n_entities=250, seed=8)
+
+    def test_gold_pairs_share_entity(self, dataset):
+        by_id = {r.record_id: r for r in dataset.records}
+        for pair in dataset.gold_matches:
+            left, right = sorted(pair)
+            assert by_id[left].entity_id == by_id[right].entity_id
+
+    def test_deterministic(self):
+        from repro.catalog import CatalogGenerator, build_seed_taxonomy
+        gen1 = CatalogGenerator(build_seed_taxonomy(), seed=8)
+        gen2 = CatalogGenerator(build_seed_taxonomy(), seed=8)
+        d1 = generate_em_dataset(gen1, n_entities=50, seed=8)
+        d2 = generate_em_dataset(gen2, n_entities=50, seed=8)
+        assert [r.fields for r in d1.records] == [r.fields for r in d2.records]
+
+    def test_blocking_high_recall_sub_quadratic(self, dataset):
+        pairs = block_pairs(dataset.records)
+        n = len(dataset.records)
+        assert blocking_recall(pairs, dataset.gold_matches) > 0.95
+        assert len(pairs) < n * (n - 1) / 4
+
+    def test_block_size_guard(self, dataset):
+        small = block_pairs(dataset.records, max_block_size=5)
+        large = block_pairs(dataset.records, max_block_size=100)
+        assert len(small) <= len(large)
+
+
+class TestMatchers:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.catalog import CatalogGenerator, build_seed_taxonomy
+        gen = CatalogGenerator(build_seed_taxonomy(), seed=9)
+        dataset = generate_em_dataset(gen, n_entities=300, seed=9)
+        return dataset, block_pairs(dataset.records)
+
+    RULES = [
+        "a.isbn = b.isbn & jaccard_3g(a.title, b.title) >= 0.5 -> match",
+        "jaccard(a.title, b.title) >= 0.65 & a.type = b.type -> match",
+        "jaccard_3g(a.title, b.title) >= 0.8 -> match",
+        "lev_norm(a.title, b.title) < 0.2 -> no_match",
+    ]
+
+    def test_rule_matcher_quality(self, workload):
+        dataset, pairs = workload
+        matcher = RuleBasedMatcher([parse_em_rule(r) for r in self.RULES])
+        report = matcher.evaluate(pairs, dataset)
+        assert report.precision > 0.75
+        assert report.recall > 0.5
+
+    def test_no_match_rules_veto(self):
+        rules = [
+            parse_em_rule("a.type = b.type -> match"),
+            parse_em_rule("jaccard(a.title, b.title) < 0.9 -> no_match"),
+        ]
+        matcher = RuleBasedMatcher(rules)
+        a = Record("r1", {"title": "one thing", "type": "t"})
+        b = Record("r2", {"title": "another thing entirely", "type": "t"})
+        assert not matcher.decide(a, b)
+
+    def test_order_independence(self, workload):
+        dataset, pairs = workload
+        rules = [parse_em_rule(r) for r in self.RULES]
+        forward = RuleBasedMatcher(rules).match(pairs[:500])
+        backward = RuleBasedMatcher(list(reversed(rules))).match(pairs[:500])
+        assert forward == backward
+
+    def test_needs_match_rule(self):
+        with pytest.raises(ValueError):
+            RuleBasedMatcher([parse_em_rule("a.isbn = b.isbn -> no_match")])
+
+    def test_learned_matcher_trains(self, workload):
+        dataset, pairs = workload
+        labels = [dataset.is_match(a, b) for a, b in pairs]
+        matcher = LearnedMatcher().fit(pairs, labels)
+        report = matcher.evaluate(pairs, dataset)
+        assert report.f1 > 0.5  # in-sample sanity
+
+    def test_learned_matcher_needs_fit(self):
+        with pytest.raises(RuntimeError):
+            LearnedMatcher().decide(Record("a", {"title": "x"}), Record("b", {"title": "x"}))
+
+    def test_score_matches_edges(self):
+        report = score_matches(set(), set())
+        assert report.precision == 1.0 and report.recall == 1.0

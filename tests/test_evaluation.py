@@ -1,0 +1,149 @@
+"""Tests for the three rule-evaluation methods and impact tracking."""
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.core import RuleSet, WhitelistRule, parse_rules
+from repro.crowd import CrowdBudget, VerificationTask, WorkerPool
+from repro.evaluation import (
+    ImpactTracker,
+    ModuleLevelEvaluator,
+    PerRuleCrowdEvaluator,
+    SharedValidationSetEvaluator,
+    rule_quality,
+    ruleset_quality,
+)
+
+
+def item(title, true_type):
+    return ProductItem(item_id=title[:30], title=title, true_type=true_type)
+
+
+HEAD_ITEMS = [item(f"gold ring {i}", "rings") for i in range(30)]
+TAIL_ITEMS = [item("christmas tree pre-lit", "holiday decorations")]
+WRONG_ITEMS = [item(f"key ring {i}", "keychains") for i in range(10)]
+ALL_ITEMS = HEAD_ITEMS + TAIL_ITEMS + WRONG_ITEMS
+
+HEAD_RULE = WhitelistRule("rings?", "rings")          # hits 40 items, 10 wrong
+TAIL_RULE = WhitelistRule("christmas trees?", "holiday decorations")  # hits 1
+
+
+class TestMetrics:
+    def test_rule_quality(self):
+        quality = rule_quality(HEAD_RULE, ALL_ITEMS)
+        assert quality.coverage == 40
+        assert quality.precision == pytest.approx(30 / 40)
+        assert quality.recall == 1.0
+
+    def test_no_matches_convention(self):
+        rule = WhitelistRule("zzz", "rings")
+        quality = rule_quality(rule, ALL_ITEMS)
+        assert quality.precision == 1.0 and quality.recall == 0.0
+
+    def test_ruleset_quality_micro(self):
+        quality = ruleset_quality([HEAD_RULE, TAIL_RULE], ALL_ITEMS)
+        assert quality.matched_correct == 31
+        assert quality.matched_wrong == 10
+
+
+class TestSharedValidationSet:
+    def test_head_rules_evaluable_tail_blind(self):
+        evaluator = SharedValidationSetEvaluator(min_touches=5)
+        labels = [i.true_type for i in ALL_ITEMS]
+        report = evaluator.evaluate([HEAD_RULE, TAIL_RULE], ALL_ITEMS, labels)
+        assert HEAD_RULE.rule_id in report.estimates
+        assert TAIL_RULE.rule_id in report.blind_rules
+        assert report.estimates[HEAD_RULE.rule_id] == pytest.approx(0.75)
+        assert report.blind_fraction == 0.5
+        assert report.labeling_cost == len(ALL_ITEMS)
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError):
+            SharedValidationSetEvaluator().evaluate([HEAD_RULE], ALL_ITEMS, ["x"])
+
+
+@pytest.fixture()
+def crowd_task():
+    pool = WorkerPool(size=30, accuracy_range=(0.93, 0.99), seed=0)
+    return VerificationTask(pool, budget=CrowdBudget(1_000_000), seed=1)
+
+
+class TestPerRuleEvaluator:
+    def test_estimates_each_rule(self, crowd_task):
+        evaluator = PerRuleCrowdEvaluator(crowd_task, sample_per_rule=8)
+        report = evaluator.evaluate([HEAD_RULE, TAIL_RULE], ALL_ITEMS)
+        assert HEAD_RULE.rule_id in report.estimates
+        assert TAIL_RULE.rule_id in report.estimates
+        head = report.estimates[HEAD_RULE.rule_id]
+        assert 0.4 <= head.precision <= 1.0
+        assert report.estimates[TAIL_RULE.rule_id].sample_size == 1
+
+    def test_overlap_saves_cost(self, crowd_task):
+        # Two heavily overlapping rules: shared items should be verified once.
+        overlap_a = WhitelistRule("rings?", "rings")
+        overlap_b = WhitelistRule("gold rings?", "rings")
+        with_overlap = PerRuleCrowdEvaluator(crowd_task, sample_per_rule=10,
+                                             exploit_overlap=True)
+        report = with_overlap.evaluate([overlap_a, overlap_b], HEAD_ITEMS)
+        pool2 = WorkerPool(size=30, accuracy_range=(0.93, 0.99), seed=0)
+        task2 = VerificationTask(pool2, budget=CrowdBudget(1_000_000), seed=1)
+        without = PerRuleCrowdEvaluator(task2, sample_per_rule=10,
+                                        exploit_overlap=False)
+        report2 = without.evaluate([overlap_a, overlap_b], HEAD_ITEMS)
+        assert report.items_verified <= report2.items_verified
+
+    def test_unevaluable_rules_reported(self, crowd_task):
+        untouched = WhitelistRule("zzz", "rings")
+        report = PerRuleCrowdEvaluator(crowd_task).evaluate([untouched], ALL_ITEMS)
+        assert report.unevaluable == [untouched.rule_id]
+
+
+class TestModuleLevel:
+    def test_estimates_module(self, crowd_task):
+        module = RuleSet([HEAD_RULE, TAIL_RULE], name="m")
+        estimate = ModuleLevelEvaluator(crowd_task, sample_size=30, seed=2).evaluate(
+            module, ALL_ITEMS
+        )
+        assert estimate is not None
+        assert estimate.items_touched == 41
+        assert 0.5 < estimate.precision <= 1.0
+
+    def test_untouched_module_returns_none(self, crowd_task):
+        module = RuleSet([WhitelistRule("zzz", "x")], name="m")
+        assert ModuleLevelEvaluator(crowd_task).evaluate(module, ALL_ITEMS) is None
+
+    def test_cheaper_than_per_rule(self, crowd_task):
+        # Module-level cost is one sample regardless of rule count.
+        rules = [WhitelistRule(f"ring {i}", "rings") for i in range(10)]
+        module = RuleSet(rules, name="m")
+        estimate = ModuleLevelEvaluator(crowd_task, sample_size=20, seed=2).evaluate(
+            module, HEAD_ITEMS
+        )
+        assert estimate.crowd_answers <= 20 * crowd_task.votes_per_pair
+
+
+class TestImpactTracker:
+    def test_alert_on_crossing_threshold(self):
+        tracker = ImpactTracker(impact_threshold=20)
+        alerts = tracker.record_batch([HEAD_RULE], ALL_ITEMS[:15], "b1")
+        assert alerts == []
+        alerts = tracker.record_batch([HEAD_RULE], ALL_ITEMS[:15], "b2")
+        assert len(alerts) == 1
+        assert alerts[0].rule_id == HEAD_RULE.rule_id
+
+    def test_no_alert_when_evaluated(self):
+        tracker = ImpactTracker(impact_threshold=5)
+        tracker.mark_evaluated(HEAD_RULE.rule_id)
+        alerts = tracker.record_batch([HEAD_RULE], ALL_ITEMS, "b1")
+        assert alerts == []
+
+    def test_alert_fires_once(self):
+        tracker = ImpactTracker(impact_threshold=5)
+        tracker.record_batch([HEAD_RULE], ALL_ITEMS, "b1")
+        assert tracker.record_batch([HEAD_RULE], ALL_ITEMS, "b2") == []
+
+    def test_worklist_ranks_by_impact(self):
+        tracker = ImpactTracker(impact_threshold=1)
+        tracker.record_batch([HEAD_RULE, TAIL_RULE], ALL_ITEMS, "b1")
+        worklist = tracker.evaluation_worklist(2)
+        assert worklist[0] == HEAD_RULE.rule_id

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples must keep running end-to-end.
+
+Only the lighter examples run here (the heavyweight ones are exercised by
+the benchmark suite); each main() must complete without raising.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+LIGHT_EXAMPLES = [
+    "quickstart.py",
+    "entity_matching.py",
+    "kb_curation.py",
+    "information_extraction.py",
+]
+
+
+def _load_module(filename):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, filename))
+    name = f"example_{filename[:-3]}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("filename", LIGHT_EXAMPLES)
+def test_example_runs(filename, capsys):
+    module = _load_module(filename)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{filename} produced no output"

@@ -1,0 +1,135 @@
+"""Tests for rule/data indexing and the executors."""
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.core import (
+    AttributeRule,
+    SequenceRule,
+    WhitelistRule,
+    parse_rules,
+)
+from repro.execution import (
+    DataIndex,
+    IndexedExecutor,
+    NaiveExecutor,
+    PartitionedExecutor,
+    RuleIndex,
+    critical_path,
+)
+
+
+def item(title, **attributes):
+    return ProductItem(item_id=title[:30], title=title, attributes=attributes)
+
+
+RULES = parse_rules("""
+    rings? -> rings
+    (motor|engine) oils? -> motor oil
+    denim.*jeans? -> jeans
+""") + [
+    SequenceRule(("area", "rug"), "area rugs"),
+    AttributeRule("isbn", "books"),
+]
+
+ITEMS = [
+    item("diamond ring gold"),
+    item("castrol motor oil 5 quart"),
+    item("relaxed denim jeans"),
+    item("shaw area rug 5x7"),
+    item("mystery novel", isbn="978"),
+    item("unrelated gadget"),
+]
+
+
+class TestRuleIndex:
+    def test_candidates_are_superset_of_matches(self):
+        index = RuleIndex(RULES)
+        for thing in ITEMS:
+            candidate_ids = {rule.rule_id for rule in index.candidates(thing)}
+            for rule in RULES:
+                if rule.matches(thing):
+                    assert rule.rule_id in candidate_ids
+
+    def test_attribute_rules_in_residue(self):
+        index = RuleIndex(RULES)
+        assert index.residue_count == 1  # attr(isbn) has no title anchor
+
+    def test_plural_singular_bridging(self):
+        index = RuleIndex([WhitelistRule("rings?", "rings")])
+        candidates = index.candidates(item("two rings"))
+        assert len(candidates) == 1
+
+    def test_sequence_indexed_under_one_token(self):
+        frequency = {"area": 1000, "rug": 3}
+        index = RuleIndex([SequenceRule(("area", "rug"), "area rugs")],
+                          token_frequency=frequency)
+        # Indexed under the rare token: items with only "area" skip the rule.
+        assert index.candidates(item("area code map")) == []
+        assert len(index.candidates(item("rug sale"))) == 1
+
+    def test_corpus_token_frequency(self):
+        freq = RuleIndex.corpus_token_frequency(["rug mat", "rug lamp"])
+        assert freq == {"rug": 2, "mat": 1, "lamp": 1}
+
+
+class TestExecutors:
+    def test_naive_and_indexed_agree(self):
+        naive_fired, _ = NaiveExecutor(RULES).run(ITEMS)
+        indexed_fired, _ = IndexedExecutor(RULES).run(ITEMS)
+        assert {k: sorted(v) for k, v in naive_fired.items()} == indexed_fired
+
+    def test_indexed_does_less_work(self):
+        _, naive_stats = NaiveExecutor(RULES).run(ITEMS)
+        _, indexed_stats = IndexedExecutor(RULES).run(ITEMS)
+        assert indexed_stats.rule_evaluations < naive_stats.rule_evaluations
+        assert indexed_stats.matches == naive_stats.matches
+
+    def test_work_scales_with_rules(self, corpus_items):
+        many_rules = [SequenceRule((f"tok{i}", "x"), "t") for i in range(200)]
+        _, naive_stats = NaiveExecutor(many_rules).run(corpus_items[:50])
+        _, indexed_stats = IndexedExecutor(many_rules).run(corpus_items[:50])
+        assert naive_stats.evaluations_per_item == 200
+        assert indexed_stats.evaluations_per_item < 5
+
+
+class TestPartitionedExecutor:
+    def test_matches_single_node_results(self):
+        serializable = [r for r in RULES]
+        merged, stats, reports = PartitionedExecutor(serializable, n_workers=3).run(ITEMS)
+        naive_fired, naive_stats = NaiveExecutor(serializable).run(ITEMS)
+        assert {k: sorted(v) for k, v in naive_fired.items()} == merged
+        assert stats.items == len(ITEMS)
+        assert len(reports) == 3
+
+    def test_critical_path_below_total(self):
+        _, stats, reports = PartitionedExecutor(RULES, n_workers=3).run(ITEMS * 10)
+        assert critical_path(reports) < stats.rule_evaluations
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            PartitionedExecutor(RULES, n_workers=0)
+
+
+class TestDataIndex:
+    def test_matches_equal_full_scan(self):
+        index = DataIndex(ITEMS)
+        for rule in RULES:
+            via_index = {i.item_id for i in index.matches(rule)}
+            via_scan = {i.item_id for i in ITEMS if rule.matches(i)}
+            assert via_index == via_scan
+
+    def test_candidate_fraction_small_for_anchored_rules(self, corpus_items):
+        index = DataIndex(corpus_items)
+        rule = WhitelistRule("rings?", "rings")
+        assert index.candidate_fraction(rule) < 0.2
+
+    def test_unanchored_rule_scans_everything(self):
+        index = DataIndex(ITEMS)
+        rule = AttributeRule("isbn", "books")
+        assert index.candidate_fraction(rule) == 1.0
+
+    def test_sequence_intersection(self):
+        index = DataIndex(ITEMS)
+        rows = index.candidate_rows(SequenceRule(("area", "rug"), "area rugs"))
+        assert len(rows) == 1

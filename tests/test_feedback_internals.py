@@ -1,0 +1,71 @@
+"""Focused tests for feedback-loop internals: training accumulation,
+retrain triggering, and report bookkeeping."""
+
+import pytest
+
+from repro.analyst import SimulatedAnalyst
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.catalog.generator import LabeledTitle
+from repro.chimera import Chimera, FeedbackLoop
+from repro.crowd import CrowdBudget, PrecisionEstimator, VerificationTask, WorkerPool
+
+
+@pytest.fixture()
+def parts(taxonomy, generator, clock):
+    chimera = Chimera.build(seed=3)
+    chimera.add_training(generator.generate_labeled(1200))
+    chimera.retrain(min_examples_per_type=4)
+    analyst = SimulatedAnalyst(taxonomy, clock=clock, seed=4)
+    pool = WorkerPool(seed=5)
+    task = VerificationTask(pool, budget=CrowdBudget(10**6), seed=6)
+    estimator = PrecisionEstimator(task, sample_size=50, seed=7)
+    return chimera, analyst, estimator
+
+
+class TestTrainingAccumulation:
+    def test_pending_counter(self, parts):
+        chimera, _, _ = parts
+        before = chimera.pending_training
+        chimera.add_training([LabeledTitle("gold ring", "rings")] * 10)
+        assert chimera.pending_training == before + 10
+        chimera.retrain(min_examples_per_type=1)
+        assert chimera.pending_training == 0
+
+    def test_retrain_uses_accumulated_data(self, parts, generator):
+        chimera, _, _ = parts
+        # A brand-new pseudo-type only exists in accumulated training data.
+        chimera.add_training(
+            [LabeledTitle(f"zzqx gadget {i}", "zz-widgets") for i in range(20)]
+        )
+        chimera.retrain(min_examples_per_type=5)
+        labels = chimera.learning_stage.ensemble.known_labels()
+        assert "zz-widgets" in labels
+
+    def test_retrain_threshold_triggers_in_loop(self, parts, generator):
+        chimera, analyst, estimator = parts
+        loop = FeedbackLoop(chimera, estimator, analyst, precision_floor=0.5,
+                            manual_label_budget_per_batch=100, retrain_every=80)
+        # Force plenty of declines by suppressing learning for a department.
+        chimera.voting.confidence_threshold = 0.95
+        loop.process_batch(generator.generate_items(150), "b1")
+        # Manual labels flow in; once past retrain_every the buffer clears.
+        loop.process_batch(generator.generate_items(150), "b2")
+        assert chimera.pending_training < 80
+
+
+class TestReports:
+    def test_report_fields_consistent(self, parts, generator):
+        chimera, analyst, estimator = parts
+        loop = FeedbackLoop(chimera, estimator, analyst, precision_floor=0.9)
+        report = loop.process_batch(generator.generate_items(120), "batch-x")
+        assert report.batch_id == "batch-x"
+        assert 1 <= report.attempts <= 3
+        assert 0.0 <= report.coverage <= 1.0
+        assert report in loop.reports
+
+    def test_empty_batch_trivially_accepted(self, parts):
+        chimera, analyst, estimator = parts
+        loop = FeedbackLoop(chimera, estimator, analyst)
+        report = loop.process_batch([], "empty")
+        assert report.accepted
+        assert report.coverage == 0.0

@@ -1,0 +1,164 @@
+"""Tests for the information-extraction substrate."""
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.ie import (
+    DictionaryExtractor,
+    IEPipeline,
+    NormalizationRules,
+    PerceptronTagger,
+    color_extractor,
+    size_extractor,
+    volume_extractor,
+    weight_extractor,
+)
+
+
+class TestRegexExtractors:
+    def test_weight(self):
+        found = weight_extractor().extract("ships at 12.5 lbs boxed")
+        assert [e.value for e in found] == ["12.5 lbs"]
+
+    def test_weight_units(self):
+        for text, expected in [("2 kg pack", "2 kg"), ("40 oz jar", "40 oz")]:
+            assert weight_extractor().extract(text)[0].value == expected
+
+    def test_volume(self):
+        assert volume_extractor().extract("motor oil 5 quart jug")[0].value == "5 quart"
+
+    def test_size(self):
+        values = [e.value for e in size_extractor().extract("jeans 38x30 size 9")]
+        assert "38x30" in values
+
+    def test_color_vocabulary(self):
+        found = color_extractor().extract("navy blue tote")
+        assert found[0].value == "navy"
+
+    def test_no_match(self):
+        assert weight_extractor().extract("no numbers here") == []
+
+    def test_invalid_pattern_rejected(self):
+        from repro.ie.extractors import RegexExtractor
+        with pytest.raises(ValueError):
+            RegexExtractor("x", "(unclosed")
+
+
+class TestDictionaryExtractor:
+    BRANDS = ["castrol", "pennzoil", "hewlett packard", "lg"]
+
+    def test_exact_match(self):
+        extractor = DictionaryExtractor("brand", self.BRANDS)
+        found = extractor.extract("Castrol GTX motor oil")
+        assert found[0].value == "castrol"
+
+    def test_multiword_entry(self):
+        extractor = DictionaryExtractor("brand", self.BRANDS)
+        found = extractor.extract("hewlett packard laserjet")
+        assert found[0].value == "hewlett packard"
+
+    def test_typo_tolerance(self):
+        extractor = DictionaryExtractor("brand", self.BRANDS, max_edits=1)
+        found = extractor.extract("castrl motor oil")
+        assert found and found[0].value == "castrol"
+
+    def test_short_entries_not_fuzzy(self):
+        extractor = DictionaryExtractor("brand", self.BRANDS, max_edits=1)
+        # "lg" must not fuzzily match random 1-2 char tokens.
+        assert not extractor.extract("a la carte")
+
+    def test_context_markers(self):
+        extractor = DictionaryExtractor(
+            "brand", self.BRANDS, context_markers=("brand", "by"))
+        assert extractor.extract("brand: castrol quality oil")
+        assert not extractor.extract("castrol quality oil")
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryExtractor("brand", [])
+
+
+class TestNormalization:
+    def test_variants_collapse(self):
+        rules = NormalizationRules({
+            "IBM": "IBM Corporation",
+            "IBM Inc.": "IBM Corporation",
+            "the Big Blue": "IBM Corporation",
+        })
+        assert rules.normalize_value("ibm inc") == "IBM Corporation"
+        assert rules.normalize_value("the big blue") == "IBM Corporation"
+        assert rules.normalize_value("unrelated") == "unrelated"
+
+    def test_conflicting_mapping_rejected(self):
+        rules = NormalizationRules({"x": "One"})
+        with pytest.raises(ValueError):
+            rules.add("x", "Two")
+
+    def test_apply_rewrites_extractions(self):
+        from repro.ie.extractors import Extraction
+        rules = NormalizationRules({"ibm": "IBM Corporation"})
+        normalized = rules.apply([Extraction("brand", "ibm", 0, 1, "dict:brand")])
+        assert normalized[0].value == "IBM Corporation"
+        assert normalized[0].extractor.endswith("+norm")
+
+
+class TestPipeline:
+    def test_evaluation_against_catalog(self, generator):
+        brands = set()
+        for product_type in generator.taxonomy:
+            brands.update(product_type.brands)
+        pipeline = IEPipeline([
+            DictionaryExtractor("brand", brands, context_markers=("brand", "by")),
+            weight_extractor(),
+            volume_extractor(),
+        ])
+        report = pipeline.evaluate(generator.generate_items(300))
+        brand_precision, brand_recall, support = report.row("brand")
+        assert brand_precision > 0.9
+        assert brand_recall > 0.9
+        assert support > 10
+
+    def test_extract_attributes_dedupes(self):
+        pipeline = IEPipeline([weight_extractor()])
+        item = ProductItem(item_id="1", title="2 lbs and 3 lbs")
+        assert pipeline.extract_attributes(item) == {"weight": "2 lbs"}
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            IEPipeline([])
+
+
+class TestPerceptronTagger:
+    @staticmethod
+    def _training():
+        # Brand always follows the marker token "brand"; negatives include
+        # oil/brand tokens in varied contexts so weights generalize.
+        sentences = [["brand", brand, "oil"] for brand in
+                     ("castrol", "pennzoil", "mobil", "valvoline")] * 3
+        labels = [[False, True, False]] * len(sentences)
+        negatives = [
+            ["pure", "oil", "jug"], ["fresh", "oil", "pack"],
+            ["quality", "oil", "deal"], ["new", "brand", "today"],
+            ["top", "brand", "value"],
+        ] * 3
+        sentences += negatives
+        labels += [[False] * 3] * len(negatives)
+        return sentences, labels
+
+    def test_learns_positional_pattern(self):
+        sentences, labels = self._training()
+        tagger = PerceptronTagger(epochs=10).fit(sentences, labels)
+        assert tagger.tag(["brand", "quaker", "oil"]) == [False, True, False]
+
+    def test_extract_spans(self):
+        sentences, labels = self._training()
+        tagger = PerceptronTagger(epochs=10).fit(sentences, labels)
+        assert tagger.extract_spans("brand castrol oil") == ["castrol"]
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PerceptronTagger().tag(["x"])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            PerceptronTagger().fit([["a"]], [])

@@ -1,0 +1,181 @@
+"""Tests for the KB-construction and tagging/event substrates."""
+
+import pytest
+
+from repro.kb import CurationLog, CurationRule, KbBuilder, KnowledgeBase
+from repro.tagging import (
+    EntityLinker,
+    EventMonitor,
+    EventSpec,
+    TweetGenerator,
+)
+
+
+class TestKnowledgeBase:
+    def test_edges_and_queries(self):
+        kb = KnowledgeBase()
+        kb.add_edge("root", "electronics")
+        kb.add_edge("electronics", "laptops")
+        assert kb.children("electronics") == ["laptops"]
+        assert kb.parents("laptops") == ["electronics"]
+
+    def test_cycle_rejected(self):
+        kb = KnowledgeBase()
+        kb.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            kb.add_edge("b", "a")
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeBase().add_edge("a", "a")
+
+    def test_brand_tables(self):
+        kb = KnowledgeBase()
+        kb.set_brand_types("Apple", ["laptops", "phones"])
+        assert kb.brand_types("apple") == {"laptops", "phones"}
+        kb.remove_brand_type("apple", "phones")
+        assert kb.brand_types("apple") == {"laptops"}
+        kb.remove_brand_type("apple", "laptops")
+        assert not kb.has_brand("apple")
+
+    def test_remove_missing_edge(self):
+        with pytest.raises(KeyError):
+            KnowledgeBase().remove_edge("a", "b")
+
+    def test_diff(self):
+        a, b = KnowledgeBase(), KnowledgeBase()
+        a.add_edge("r", "x")
+        b.add_edge("r", "y")
+        diff = a.diff(b)
+        assert diff["edges_only_here"] == 1
+        assert diff["edges_only_there"] == 1
+
+
+class TestKbBuilder:
+    def test_same_day_identical(self, taxonomy):
+        builder = KbBuilder(taxonomy, seed=1)
+        assert builder.build(3).diff(builder.build(3)) == {
+            "edges_only_here": 0, "edges_only_there": 0, "brand_type_diffs": 0}
+
+    def test_different_days_differ(self, taxonomy):
+        builder = KbBuilder(taxonomy, seed=1)
+        diff = builder.build(1).diff(builder.build(2))
+        assert diff["edges_only_here"] + diff["edges_only_there"] > 0
+
+    def test_systematic_errors_recur(self, taxonomy):
+        builder = KbBuilder(taxonomy, seed=1, systematic_noise_edges=2)
+        for day in range(4):
+            kb = builder.build(day)
+            for wrong_department, victim in builder.systematic_edges:
+                assert kb.has_edge(wrong_department, victim)
+
+    def test_contains_taxonomy(self, taxonomy):
+        kb = KbBuilder(taxonomy, seed=1).build(0)
+        assert kb.has_edge("jewelry", "rings")
+        assert "laptop computers" in kb.brand_types("apple")
+
+
+class TestCuration:
+    def test_rule_applies_and_reports_noop(self):
+        kb = KnowledgeBase()
+        kb.add_edge("garden", "area rugs")
+        rule = CurationRule("remove_edge", "garden", "area rugs")
+        assert rule.apply(kb) is True
+        assert rule.apply(kb) is False  # already gone
+
+    def test_unknown_action(self):
+        with pytest.raises(ValueError):
+            CurationRule("explode", "a", "b")
+
+    def test_replay_fixes_systematic_errors(self, taxonomy):
+        builder = KbBuilder(taxonomy, seed=2, systematic_noise_edges=2)
+        kb0 = builder.build(0)
+        log = CurationLog()
+        for wrong_department, victim in builder.systematic_edges:
+            log.record(CurationRule("remove_edge", wrong_department, victim), kb0)
+        kb1 = builder.build(1)
+        applied = log.replay(kb1)
+        assert applied == len(builder.systematic_edges)
+        for wrong_department, victim in builder.systematic_edges:
+            assert not kb1.has_edge(wrong_department, victim)
+
+    def test_stale_rules_detected(self):
+        log = CurationLog()
+        log.record(CurationRule("remove_edge", "never", "there"))
+        for _ in range(3):
+            log.replay(KnowledgeBase())
+        assert len(log.stale_rules(min_replays=3)) == 1
+
+
+class TestEntityLinker:
+    @pytest.fixture()
+    def linker(self, taxonomy):
+        kb = KbBuilder(taxonomy, seed=0, noise_edges_per_build=0,
+                       noise_brands_per_build=0, systematic_noise_edges=0).build(0)
+        return EntityLinker(kb, blacklist=["apple"])
+
+    def test_longest_mention_wins(self, linker):
+        mentions = linker.link("new laptop computers on sale")
+        entities = [m.entity for m in mentions]
+        assert "laptop computers" in entities
+
+    def test_blacklist_drops(self, linker):
+        mentions = linker.link("apple pie recipe")
+        assert all(m.entity != "apple" for m in mentions)
+
+    def test_sentence_straddlers_dropped(self, taxonomy):
+        kb = KbBuilder(taxonomy, seed=0).build(0)
+        linker = EntityLinker(kb, extra_entities=["great samsung"])
+        mentions = linker.link("this is great. samsung makes phones")
+        assert all(m.entity != "great samsung" for m in mentions)
+
+    def test_editorial_controls(self, taxonomy):
+        kb = KbBuilder(taxonomy, seed=0).build(0)
+        linker = EntityLinker(kb, editorial_drops=["sony"])
+        assert all(m.entity != "sony" for m in linker.link("sony headphones"))
+
+
+class TestEventMonitoring:
+    EVENTS = {
+        "superbowl": ("touchdown", "quarterback", "halftime"),
+        "oscars": ("redcarpet", "bestpicture", "acceptance"),
+    }
+
+    def test_generator_ground_truth(self):
+        gen = TweetGenerator(self.EVENTS, seed=0)
+        tweets = gen.stream(200, event_fraction=0.5)
+        tagged = [t for t in tweets if t.true_event]
+        assert 60 <= len(tagged) <= 140
+
+    def test_conservative_mode_raises_precision(self):
+        gen = TweetGenerator(self.EVENTS, leakage=0.3, seed=1)
+        tweets = gen.stream(600)
+        monitor = EventMonitor([
+            EventSpec("superbowl", set(self.EVENTS["superbowl"])),
+            EventSpec("oscars", set(self.EVENTS["oscars"])),
+        ])
+        before = {r.event: r for r in monitor.evaluate(tweets)}
+        monitor.make_conservative("superbowl", 2)
+        monitor.make_conservative("oscars", 2)
+        after = {r.event: r for r in monitor.evaluate(tweets)}
+        for event in self.EVENTS:
+            assert after[event].precision >= before[event].precision
+            assert after[event].recall <= before[event].recall
+
+    def test_cannot_lower_threshold(self):
+        monitor = EventMonitor([EventSpec("e", {"a", "b"}, min_keyword_matches=2)])
+        with pytest.raises(ValueError):
+            monitor.make_conservative("e", 1)
+
+    def test_blacklist_term(self):
+        monitor = EventMonitor([EventSpec("e", {"touchdown", "halftime"})])
+        from repro.tagging import Tweet
+        tweet = Tweet("t1", "touchdown celebration spam", None)
+        assert monitor.assign(tweet) == "e"
+        monitor.add_blacklist_term("e", "spam")
+        assert monitor.assign(tweet) is None
+
+    def test_unknown_event(self):
+        monitor = EventMonitor([EventSpec("e", {"a", "b"})])
+        with pytest.raises(KeyError):
+            monitor.make_conservative("nope", 2)

@@ -1,0 +1,71 @@
+"""Tests for per-type batch metrics and crowd dictionary confirmation."""
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.chimera.pipeline import BatchResult, ItemResult
+from repro.crowd import CrowdBudget, CrowdSynonymJudge, WorkerPool
+from repro.ie import DictionaryBuilder
+
+
+def result(title, true_type, label):
+    item = ProductItem(item_id=title[:24], title=title, true_type=true_type)
+    return ItemResult(item=item, label=label)
+
+
+class TestPerTypeMetrics:
+    def test_breakdown(self):
+        batch = BatchResult(results=[
+            result("ring a", "rings", "rings"),
+            result("ring b", "rings", "rings"),
+            result("ring c", "rings", None),          # declined
+            result("key ring", "keychains", "rings"),  # wrong
+            result("rug", "area rugs", "area rugs"),
+        ])
+        metrics = batch.per_type_metrics()
+        ring_precision, ring_recall, ring_count = metrics["rings"]
+        assert ring_precision == pytest.approx(2 / 3)  # 2 of 3 "rings" labels
+        assert ring_recall == pytest.approx(2 / 3)     # 2 of 3 actual rings
+        assert ring_count == 3
+        keychain_precision, keychain_recall, keychain_count = metrics["keychains"]
+        assert keychain_recall == 0.0 and keychain_count == 1
+        assert metrics["area rugs"] == (1.0, 1.0, 1)
+
+    def test_aggregate_can_hide_per_type_burn(self):
+        results = [result(f"x {i}", "rings", "rings") for i in range(18)]
+        results += [result(f"y {i}", "keychains", "rings") for i in range(2)]
+        batch = BatchResult(results=results)
+        assert batch.true_precision() == 0.9  # looks okay in aggregate
+        precision, recall, _ = batch.per_type_metrics()["keychains"]
+        assert recall == 0.0  # but keychains are fully misrouted
+
+    def test_empty_batch(self):
+        assert BatchResult().per_type_metrics() == {}
+
+
+class TestCrowdDictionaryConfirmation:
+    def test_statistics(self, taxonomy):
+        judge = CrowdSynonymJudge(taxonomy, WorkerPool(seed=3),
+                                  budget=CrowdBudget(100_000), seed=4)
+        yes = sum(judge.confirm_dictionary_entry("brand", "castrol")
+                  for _ in range(50))
+        no = sum(judge.confirm_dictionary_entry("brand", "premium")
+                 for _ in range(50))
+        assert yes >= 42
+        assert no <= 8
+
+    def test_drives_dictionary_builder(self, taxonomy):
+        from repro.catalog import CatalogGenerator
+        generator = CatalogGenerator(taxonomy, seed=71)
+        corpus = [item.description for item in generator.generate_items(1200)]
+        brands = set()
+        for product_type in taxonomy:
+            brands.update(product_type.brands)
+        seeds = sorted(brands)[:3]
+        builder = DictionaryBuilder(corpus, seeds=seeds, markers=("brand",))
+        judge = CrowdSynonymJudge(taxonomy, WorkerPool(seed=5), seed=6)
+        confirmed = builder.build(judge, attribute="brand", pages=4)
+        found = confirmed - set(seeds)
+        assert len(found & brands) >= 4
+        # The crowd occasionally errs, but junk stays rare.
+        assert len(found - brands) <= 3

@@ -1,0 +1,189 @@
+"""Tests for the section 5.2 rule-generation pipeline."""
+
+import pytest
+
+from repro.catalog.generator import LabeledTitle
+from repro.core import SequenceRule
+from repro.rulegen import (
+    RuleGenerator,
+    confidence_score,
+    greedy_biased_select,
+    greedy_select,
+    mine_frequent_sequences,
+)
+
+
+class TestSeqMine:
+    TITLES = [
+        ["denim", "carpenter", "jeans"],
+        ["denim", "relaxed", "jeans"],
+        ["denim", "jeans"],
+        ["skinny", "jeans"],
+    ]
+
+    def test_frequent_singletons(self):
+        frequent = mine_frequent_sequences(self.TITLES, min_support=0.5, max_length=1)
+        assert frequent[("jeans",)] == 4
+        assert frequent[("denim",)] == 3
+        assert ("skinny",) not in frequent
+
+    def test_frequent_pairs_in_order(self):
+        frequent = mine_frequent_sequences(self.TITLES, min_support=0.5, max_length=2)
+        assert frequent[("denim", "jeans")] == 3
+        assert ("jeans", "denim") not in frequent
+
+    def test_support_counts_titles_not_occurrences(self):
+        titles = [["a", "a", "b"], ["a", "b"]]
+        frequent = mine_frequent_sequences(titles, min_support=0.5, max_length=2)
+        assert frequent[("a", "b")] == 2
+        assert frequent[("a", "a")] == 1  # only the first title contains a..a
+
+    def test_apriori_antimonotone(self):
+        frequent = mine_frequent_sequences(self.TITLES, min_support=0.25, max_length=3)
+        for sequence, count in frequent.items():
+            for drop in range(len(sequence)):
+                sub = sequence[:drop] + sequence[drop + 1 :]
+                if sub:
+                    assert frequent[sub] >= count
+
+    def test_empty_input(self):
+        assert mine_frequent_sequences([], 0.5) == {}
+
+    def test_bad_support(self):
+        with pytest.raises(ValueError):
+            mine_frequent_sequences(self.TITLES, min_support=0.0)
+
+
+class TestConfidence:
+    def test_full_name_high(self):
+        assert confidence_score(("denim", "jeans"), "jeans", 0.3) > 0.7
+
+    def test_plural_singular_bridged(self):
+        assert confidence_score(("jean",), "jeans", 0.2) > 0.7
+
+    def test_no_name_tokens_low(self):
+        assert confidence_score(("relaxed", "fit"), "jeans", 0.05) < 0.7
+
+    def test_support_saturates(self):
+        low = confidence_score(("relaxed", "fit"), "jeans", 0.01)
+        high = confidence_score(("relaxed", "fit"), "jeans", 0.9)
+        assert high > low
+        assert high == confidence_score(("relaxed", "fit"), "jeans", 0.2)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            confidence_score((), "jeans", 0.5)
+        with pytest.raises(ValueError):
+            confidence_score(("a",), "jeans", 1.5)
+
+
+def _rule(tokens, target, conf, rule_id):
+    rule = SequenceRule(tokens, target, confidence=conf)
+    rule.rule_id = rule_id
+    return rule
+
+
+class TestGreedySelect:
+    def test_maximizes_new_coverage_times_confidence(self):
+        rules = [
+            _rule(("a",), "t", 0.9, "r1"),
+            _rule(("b",), "t", 0.9, "r2"),
+            _rule(("c",), "t", 0.9, "r3"),
+        ]
+        coverage = {"r1": {1, 2, 3}, "r2": {3, 4}, "r3": {1}}
+        selected = greedy_select(rules, coverage, q=2)
+        assert [r.rule_id for r in selected] == ["r1", "r2"]
+
+    def test_stops_when_no_new_coverage(self):
+        rules = [_rule(("a",), "t", 0.9, "r1"), _rule(("a", "b"), "t", 0.9, "r2")]
+        coverage = {"r1": {1, 2}, "r2": {1, 2}}
+        selected = greedy_select(rules, coverage, q=5)
+        assert len(selected) == 1
+
+    def test_confidence_breaks_coverage_ties(self):
+        rules = [_rule(("a",), "t", 0.5, "r1"), _rule(("b",), "t", 0.9, "r2")]
+        coverage = {"r1": {1}, "r2": {2}}
+        selected = greedy_select(rules, coverage, q=1)
+        assert selected[0].rule_id == "r2"
+
+    def test_q_zero(self):
+        assert greedy_select([_rule(("a",), "t", 0.9, "r1")], {"r1": {1}}, 0) == []
+
+
+class TestGreedyBiased:
+    def test_high_pool_exhausted_first(self):
+        rules = [
+            _rule(("hi",), "t", 0.9, "high1"),
+            _rule(("lo",), "t", 0.3, "low1"),
+            _rule(("lo2",), "t", 0.4, "low2"),
+        ]
+        coverage = {"high1": {1}, "low1": {1, 2, 3, 4}, "low2": {5}}
+        high, low = greedy_biased_select(rules, coverage, q=2, alpha=0.7)
+        # low1 covers more, but high1 is chosen first because it is high-conf.
+        assert [r.rule_id for r in high] == ["high1"]
+        assert len(low) == 1
+
+    def test_low_pool_covers_residual_only(self):
+        rules = [
+            _rule(("hi",), "t", 0.9, "high1"),
+            _rule(("lo",), "t", 0.3, "low1"),
+        ]
+        coverage = {"high1": {1, 2}, "low1": {1, 2}}  # fully shadowed
+        high, low = greedy_biased_select(rules, coverage, q=5, alpha=0.7)
+        assert [r.rule_id for r in high] == ["high1"]
+        assert low == []
+
+    def test_quota_shared(self):
+        rules = [_rule((f"t{i}",), "t", 0.9, f"h{i}") for i in range(3)]
+        rules += [_rule((f"u{i}",), "t", 0.3, f"l{i}") for i in range(3)]
+        coverage = {f"h{i}": {i} for i in range(3)}
+        coverage.update({f"l{i}": {10 + i} for i in range(3)})
+        high, low = greedy_biased_select(rules, coverage, q=4, alpha=0.7)
+        assert len(high) == 3 and len(low) == 1
+
+
+class TestRuleGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self, labeled_training):
+        return RuleGenerator(min_support=0.05, q=50).generate(labeled_training)
+
+    def test_shape(self, generated):
+        assert generated.n_mined > generated.n_clean * 0 and generated.n_mined > 0
+        assert generated.n_selected <= generated.n_clean <= generated.n_mined
+        assert generated.types_covered > 10
+
+    def test_high_confidence_above_alpha(self, generated):
+        assert all(r.confidence >= 0.7 for r in generated.high_confidence)
+        assert all(r.confidence < 0.7 for r in generated.low_confidence)
+
+    def test_clean_rules_make_no_training_mistakes(self, generated, labeled_training):
+        from repro.utils.text import contains_word_sequence, tokenize
+        for rule in generated.rules[:40]:
+            for example in labeled_training:
+                if example.label != rule.target_type:
+                    assert not contains_word_sequence(
+                        tokenize(example.title), rule.token_sequence
+                    )
+
+    def test_rule_lengths(self, generated):
+        assert all(2 <= len(r.token_sequence) <= 4 for r in generated.rules)
+
+    def test_rules_for_type(self, generated):
+        jeans_rules = generated.rules_for_type("jeans")
+        assert jeans_rules
+        assert all(r.target_type == "jeans" for r in jeans_rules)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            RuleGenerator().generate([])
+
+    def test_quota_respected(self, labeled_training):
+        result = RuleGenerator(min_support=0.02, q=3).generate(labeled_training)
+        from collections import Counter
+        per_type = Counter(r.target_type for r in result.rules)
+        assert all(count <= 3 for count in per_type.values())
+
+    def test_dirty_rules_kept_without_clean_filter(self, labeled_training):
+        clean = RuleGenerator(min_support=0.05, q=50, require_clean=True)
+        dirty = RuleGenerator(min_support=0.05, q=50, require_clean=False)
+        assert dirty.generate(labeled_training).n_clean >= clean.generate(labeled_training).n_clean

@@ -1,0 +1,175 @@
+"""Tests for the vertical-search and clustering substrates."""
+
+import pytest
+
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.catalog.types import ProductItem
+from repro.clustering import (
+    CannotLinkRule,
+    MustLinkRule,
+    RuleConstrainedClusterer,
+)
+from repro.em import RuleBasedMatcher, block_pairs, generate_em_dataset, parse_em_rule
+from repro.em.records import Record
+from repro.search import (
+    BlacklistResultRule,
+    BoostRule,
+    QueryRewriteRule,
+    SearchEngine,
+)
+
+
+def item(item_id, title, true_type=""):
+    return ProductItem(item_id=item_id, title=title, true_type=true_type)
+
+
+CORPUS = [
+    item("i1", "castrol motor oil 5 quart", "motor oil"),
+    item("i2", "engine oil synthetic blend", "motor oil"),
+    item("i3", "truck oil conventional", "motor oil"),
+    item("i4", "premium oil filter cartridge", "oil filters"),
+    item("i5", "shaw area rug 5x7", "area rugs"),
+    item("i6", "gold diamond ring", "rings"),
+]
+
+
+class TestSearchEngine:
+    @pytest.fixture()
+    def engine(self):
+        return SearchEngine(CORPUS)
+
+    def test_basic_retrieval_ranked(self, engine):
+        results = engine.search("motor oil")
+        assert results
+        assert results[0].item.item_id == "i1"
+        assert all(a.score >= b.score for a, b in zip(results, results[1:]))
+
+    def test_rewrite_rule_expands_recall(self, engine):
+        before = {r.item.item_id: r.score for r in engine.search("motor oil")}
+        engine.add_rewrite(QueryRewriteRule("motor", ("engine", "truck")))
+        after = {r.item.item_id: r.score for r in engine.search("motor oil")}
+        # The synonym items score much higher once the query is expanded.
+        assert after["i2"] > before["i2"]
+        assert after["i3"] > before["i3"]
+        top3 = [r.item.item_id for r in engine.search("motor oil", top_k=3)]
+        assert set(top3) == {"i1", "i2", "i3"}
+
+    def test_rewrite_only_triggers_on_term(self, engine):
+        engine.add_rewrite(QueryRewriteRule("motor", ("engine",)))
+        assert engine.expand_query("area rug") == ["area", "rug"]
+
+    def test_blacklist_rule_drops_trap_results(self, engine):
+        engine.add_rewrite(QueryRewriteRule("motor", ("engine", "truck")))
+        assert any(r.item.item_id == "i4"
+                   for r in engine.search("motor oil", top_k=10))
+        engine.add_blacklist(BlacklistResultRule("oil", "oil filters?"))
+        ids = {r.item.item_id for r in engine.search("motor oil", top_k=10)}
+        assert "i4" not in ids
+
+    def test_blacklist_inactive_for_other_queries(self, engine):
+        engine.add_blacklist(BlacklistResultRule("oil", "oil filters?"))
+        ids = {r.item.item_id for r in engine.search("premium cartridge")}
+        assert "i4" in ids
+
+    def test_boost_rule_reorders(self, engine):
+        results = engine.search("oil")
+        engine.add_boost(BoostRule("oil", "oil filters", factor=50.0))
+        boosted = engine.search("oil")
+        assert boosted[0].item.true_type == "oil filters"
+        assert results[0].item.item_id != boosted[0].item.item_id
+
+    def test_recall_at(self, engine):
+        engine.add_rewrite(QueryRewriteRule("motor", ("engine", "truck")))
+        engine.add_blacklist(BlacklistResultRule("motor", "oil filters?"))
+        assert engine.recall_at("motor oil", "motor oil", k=3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchEngine([])
+        with pytest.raises(ValueError):
+            QueryRewriteRule("x", ())
+        with pytest.raises(ValueError):
+            BoostRule("x", "t", factor=0)
+
+    def test_on_generated_catalog(self):
+        generator = CatalogGenerator(build_seed_taxonomy(), seed=31)
+        engine = SearchEngine(generator.generate_items(2000))
+        engine.add_rewrite(QueryRewriteRule(
+            "motor", tuple(build_seed_taxonomy().get("motor oil").slot("vehicle"))))
+        engine.add_blacklist(BlacklistResultRule("motor", "oil filters?"))
+        assert engine.recall_at("motor oil", "motor oil", k=5) >= 0.8
+
+
+def record(record_id, title, entity="", **fields):
+    payload = {"title": title}
+    payload.update(fields)
+    return Record(record_id=record_id, fields=payload, entity_id=entity)
+
+
+class TestClustering:
+    def test_components_from_matches(self):
+        records = [record(f"r{i}", f"thing {i}") for i in range(4)]
+        matches = {frozenset(("r0", "r1")), frozenset(("r2", "r3"))}
+        clusters = RuleConstrainedClusterer().cluster(records, matches)
+        assert {frozenset(c) for c in clusters} == {
+            frozenset({"r0", "r1"}), frozenset({"r2", "r3"})}
+
+    def test_must_link_merges(self):
+        records = [record("r0", "acme widget alpha"),
+                   record("r1", "acme widget alpha deluxe")]
+        rule = MustLinkRule("jaccard(a.title, b.title) >= 0.5")
+        clusters = RuleConstrainedClusterer(must_link=[rule]).cluster(
+            records, set(), candidate_pairs=[(records[0], records[1])])
+        assert clusters == [{"r0", "r1"}]
+
+    def test_cannot_link_cuts_direct_edge(self):
+        records = [record("r0", "new gadget", condition="new"),
+                   record("r1", "new gadget", condition="refurbished")]
+        rule = CannotLinkRule("jaccard(a.title, b.title) >= 0.5")
+        clusterer = RuleConstrainedClusterer(cannot_link=[rule])
+        clusters = clusterer.cluster(
+            records, {frozenset(("r0", "r1"))},
+            candidate_pairs=[(records[0], records[1])])
+        assert {frozenset(c) for c in clusters} == {
+            frozenset({"r0"}), frozenset({"r1"})}
+
+    def test_cannot_link_beats_must_link(self):
+        records = [record("r0", "same title"), record("r1", "same title")]
+        must = MustLinkRule("jaccard(a.title, b.title) >= 0.5")
+        cannot = CannotLinkRule("jaccard(a.title, b.title) >= 0.5")
+        clusters = RuleConstrainedClusterer(
+            must_link=[must], cannot_link=[cannot]
+        ).cluster(records, set(), candidate_pairs=[(records[0], records[1])])
+        assert len(clusters) == 2
+
+    def test_transitive_forbidden_pair_split(self):
+        # r0-r1 and r1-r2 matched; r0-r2 forbidden -> component must split.
+        records = [record("r0", "alpha beta", kind="x"),
+                   record("r1", "alpha beta gamma"),
+                   record("r2", "beta gamma", kind="y")]
+        cannot = CannotLinkRule("a.kind = b.kind")
+        # kinds differ -> use an explicit pair test instead:
+        cannot = CannotLinkRule("jaccard(a.title, b.title) >= 0.3")
+        clusterer = RuleConstrainedClusterer(cannot_link=[cannot])
+        clusters = clusterer.cluster(
+            records,
+            {frozenset(("r0", "r1")), frozenset(("r1", "r2"))},
+            candidate_pairs=[(records[0], records[2])],
+        )
+        membership = {rid: i for i, c in enumerate(clusters) for rid in c}
+        assert membership["r0"] != membership["r2"]
+
+    def test_end_to_end_with_em(self):
+        generator = CatalogGenerator(build_seed_taxonomy(), seed=41)
+        dataset = generate_em_dataset(generator, n_entities=150, seed=41)
+        pairs = block_pairs(dataset.records)
+        matcher = RuleBasedMatcher([
+            parse_em_rule("jaccard(a.title, b.title) >= 0.7 & a.type = b.type -> match"),
+        ])
+        matches = matcher.match(pairs)
+        clusterer = RuleConstrainedClusterer()
+        clusters = clusterer.cluster(dataset.records, matches, candidate_pairs=pairs)
+        report = clusterer.evaluate(clusters, dataset, candidate_pairs=pairs)
+        assert report.pair_precision > 0.7
+        assert report.pair_recall >= 0.35
+        assert report.cannot_link_violations == 0

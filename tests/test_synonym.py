@@ -1,0 +1,186 @@
+"""Tests for the section 5.1 synonym-discovery tool."""
+
+import pytest
+
+from repro.analyst import SimulatedAnalyst
+from repro.core import RuleParseError
+from repro.synonym import (
+    ContextModel,
+    DiscoverySession,
+    RocchioFeedback,
+    SynonymTool,
+    parse_syn_rule,
+)
+from repro.synonym.context import ContextMatch, extract_matches
+from repro.synonym.generalize import generalized_regexes, golden_regex
+from repro.utils.vectors import SparseVector
+
+
+class TestParseSynRule:
+    def test_basic(self):
+        spec = parse_syn_rule(r"(motor | engine | \syn) oils? -> motor oil")
+        assert spec.golden == ("motor", "engine")
+        assert spec.before == ""
+        assert spec.after == " oils?"
+        assert spec.target_type == "motor oil"
+
+    def test_spaces_in_disjunctions_tightened(self):
+        spec = parse_syn_rule(r"(abrasive | \syn) (wheels? | discs?) -> abrasive wheels & discs")
+        assert spec.after == " (wheels?|discs?)"
+
+    def test_prefix_context(self):
+        spec = parse_syn_rule(r"big (boys? | \syn) shorts? -> shorts")
+        assert spec.before == "big "
+        assert spec.golden == ("boys?",)
+
+    def test_requires_marker(self):
+        with pytest.raises(RuleParseError):
+            parse_syn_rule("(motor|engine) oils? -> motor oil")
+
+    def test_marker_outside_parens(self):
+        with pytest.raises(RuleParseError):
+            parse_syn_rule(r"\syn oils? -> motor oil")
+
+    def test_requires_arrow(self):
+        with pytest.raises(RuleParseError):
+            parse_syn_rule(r"(a | \syn) b")
+
+    def test_expanded_pattern(self):
+        spec = parse_syn_rule(r"(motor | engine | \syn) oils? -> motor oil")
+        pattern = spec.expanded_pattern(("truck", "motor"))
+        assert pattern == "(motor|engine|truck) oils?"
+
+
+class TestGeneralizedRegexes:
+    def test_lengths(self):
+        spec = parse_syn_rule(r"(motor | \syn) oils? -> motor oil")
+        patterns = generalized_regexes(spec, max_words=3)
+        assert len(patterns) == 3
+        assert patterns[0].search("castrol truck oil 5 quart").group("syn") == "truck"
+        match = patterns[1].search("full synthetic motor oil")
+        assert match.group("syn") == "synthetic motor"
+
+    def test_golden_regex_captures(self):
+        spec = parse_syn_rule(r"(motor | engine | \syn) oils? -> motor oil")
+        match = golden_regex(spec).search("castrol engine oil")
+        assert match.group("syn") == "engine"
+
+
+class TestContextExtraction:
+    def test_windows(self):
+        spec = parse_syn_rule(r"(motor | \syn) oils? -> motor oil")
+        matches = extract_matches(
+            ["brand premium truck oil five quart deal"],
+            generalized_regexes(spec, max_words=1),
+            context_size=2,
+        )
+        truck = [m for m in matches if m.candidate == "truck"]
+        assert truck
+        assert truck[0].prefix == ("brand", "premium")
+        assert truck[0].suffix == ("oil", "five")
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            ContextModel([])
+
+    def test_idf_downweights_ubiquitous_tokens(self):
+        matches = [
+            ContextMatch("a", ("common", "rare1"), ()),
+            ContextMatch("b", ("common", "rare2"), ()),
+        ]
+        model = ContextModel(matches)
+        vector = model.prefix_vector(matches[0])
+        assert vector["common"] == 0.0  # in every match -> idf 0
+        assert vector["rare1"] > 0
+
+
+class TestRocchio:
+    def test_accepted_pulls_rejected_pushes(self):
+        feedback = RocchioFeedback(
+            SparseVector({"x": 1.0}), SparseVector({"x": 1.0}),
+            alpha=1.0, beta=1.0, gamma=1.0,
+        )
+        accepted = [(SparseVector({"y": 1.0}), SparseVector())]
+        rejected = [(SparseVector({"x": 0.5}), SparseVector())]
+        feedback.update(accepted, rejected)
+        assert feedback.prefix["y"] == 1.0
+        assert feedback.prefix["x"] == 0.5  # 1.0 - 0.5
+
+    def test_negative_components_clipped(self):
+        feedback = RocchioFeedback(SparseVector({"x": 0.2}), SparseVector())
+        feedback.update([], [(SparseVector({"x": 5.0}), SparseVector())])
+        assert feedback.prefix["x"] == 0.0
+
+
+class TestSynonymTool:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.catalog import CatalogGenerator, build_seed_taxonomy
+        gen = CatalogGenerator(build_seed_taxonomy(), seed=55)
+        return [item.title for item in gen.generate_items(5000)]
+
+    def test_golden_excluded_from_candidates(self, corpus):
+        tool = SynonymTool(r"(motor | engine | \syn) oils? -> motor oil", corpus)
+        assert "motor" not in tool.remaining
+        assert "engine" not in tool.remaining
+
+    def test_true_synonyms_rank_above_noise(self, corpus):
+        tool = SynonymTool(r"(motor | engine | \syn) oils? -> motor oil", corpus)
+        ranking = tool.current_ranking()
+        vehicle_words = {"truck", "car", "suv", "van", "motorcycle", "atv",
+                         "boat", "auto", "automotive", "vehicle", "scooter"}
+        top20 = {c.phrase for c in ranking[:20]}
+        assert len(top20 & vehicle_words) >= 5
+
+    def test_feedback_shrinks_remaining(self, corpus):
+        tool = SynonymTool(r"(motor | engine | \syn) oils? -> motor oil", corpus)
+        page = tool.next_page(5)
+        tool.feedback([page[0].phrase], [c.phrase for c in page[1:]])
+        assert page[0].phrase in tool.accepted
+        assert len(tool.remaining) == tool.n_candidates - 5
+
+    def test_feedback_rejects_unknown_phrase(self, corpus):
+        tool = SynonymTool(r"(motor | engine | \syn) oils? -> motor oil", corpus)
+        with pytest.raises(KeyError):
+            tool.feedback(["never a candidate"], [])
+
+    def test_expanded_rule_contains_accepted(self, corpus):
+        tool = SynonymTool(r"(motor | engine | \syn) oils? -> motor oil", corpus)
+        page = tool.next_page(3)
+        tool.feedback([page[0].phrase], [])
+        assert page[0].phrase in tool.expanded_rule_pattern()
+
+    def test_no_matches_rejected(self):
+        with pytest.raises(ValueError):
+            SynonymTool(r"(qqq | \syn) zzz -> nothing", ["unrelated title"])
+
+
+class TestDiscoverySession:
+    def test_finds_vehicle_family(self, taxonomy):
+        from repro.catalog import CatalogGenerator
+        gen = CatalogGenerator(taxonomy, seed=66)
+        corpus = [item.title for item in gen.generate_items(6000)]
+        tool = SynonymTool(r"(motor | engine | \syn) oils? -> motor oil", corpus)
+        analyst = SimulatedAnalyst(taxonomy, seed=1, synonym_judgement_accuracy=1.0)
+        report = DiscoverySession(tool, analyst, slot="vehicle", patience=2).run()
+        family = set(taxonomy.get("motor oil").slot("vehicle"))
+        found = set(report.synonyms_found)
+        assert len(found & family) >= 6
+        assert found <= family  # perfect analyst accepts only true members
+        assert report.first_find_iteration == 1
+
+    def test_enough_stops_early(self, taxonomy):
+        from repro.catalog import CatalogGenerator
+        gen = CatalogGenerator(taxonomy, seed=66)
+        corpus = [item.title for item in gen.generate_items(4000)]
+        tool = SynonymTool(r"(motor | engine | \syn) oils? -> motor oil", corpus)
+        analyst = SimulatedAnalyst(taxonomy, seed=1, synonym_judgement_accuracy=1.0)
+        report = DiscoverySession(tool, analyst, slot="vehicle", enough=3).run()
+        assert len(report.synonyms_found) >= 3
+        assert report.iterations <= 3
+
+    def test_review_minutes_scales(self):
+        from repro.synonym.session import DiscoveryReport
+        report = DiscoveryReport(rule_source="r", target_type="t",
+                                 candidates_reviewed=40)
+        assert report.review_minutes(seconds_per_candidate=6.0) == 4.0

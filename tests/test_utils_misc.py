@@ -1,0 +1,159 @@
+"""Tests for repro.utils stats, sampling, vectors, and clock."""
+
+import random
+
+import pytest
+
+from repro.utils.clock import SimClock
+from repro.utils.sampling import (
+    reservoir_sample,
+    split_train_test,
+    stratified_sample,
+    weighted_choice,
+)
+from repro.utils.stats import (
+    f1_score,
+    harmonic_mean,
+    mean,
+    sample_size_for_margin,
+    wilson_interval,
+)
+from repro.utils.vectors import SparseVector, cosine_similarity, mean_vector
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(92, 100)
+        assert low < 0.92 < high
+
+    def test_extremes(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 0.5
+        low, high = wilson_interval(10, 10)
+        assert low > 0.6 and high == 1.0
+
+    def test_narrower_with_more_trials(self):
+        low1, high1 = wilson_interval(50, 100)
+        low2, high2 = wilson_interval(500, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_harmonic_mean_zero(self):
+        assert harmonic_mean(0.0, 0.9) == 0.0
+
+    def test_f1(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert abs(f1_score(0.5, 1.0) - 2 / 3) < 1e-9
+
+    def test_sample_size(self):
+        assert sample_size_for_margin(0.05) == 385
+        with pytest.raises(ValueError):
+            sample_size_for_margin(0.0)
+
+
+class TestSampling:
+    def test_reservoir_size(self):
+        rng = random.Random(0)
+        sample = reservoir_sample(range(1000), 10, rng)
+        assert len(sample) == 10
+        assert all(0 <= value < 1000 for value in sample)
+
+    def test_reservoir_small_stream(self):
+        rng = random.Random(0)
+        assert sorted(reservoir_sample(range(3), 10, rng)) == [0, 1, 2]
+
+    def test_reservoir_deterministic(self):
+        a = reservoir_sample(range(100), 5, random.Random(7))
+        b = reservoir_sample(range(100), 5, random.Random(7))
+        assert a == b
+
+    def test_reservoir_roughly_uniform(self):
+        counts = [0] * 10
+        for seed in range(400):
+            for value in reservoir_sample(range(10), 3, random.Random(seed)):
+                counts[value] += 1
+        assert max(counts) < 2.0 * min(counts)
+
+    def test_stratified(self):
+        items = [("a", i) for i in range(10)] + [("b", i) for i in range(2)]
+        sample = stratified_sample(items, key=lambda x: x[0], per_stratum=3,
+                                   rng=random.Random(0))
+        a_count = sum(1 for s in sample if s[0] == "a")
+        b_count = sum(1 for s in sample if s[0] == "b")
+        assert a_count == 3 and b_count == 2
+
+    def test_weighted_choice_respects_zero(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert weighted_choice({"x": 1.0, "y": 0.0}, rng) == "x"
+
+    def test_split_train_test(self):
+        train, test = split_train_test(list(range(100)), 0.2, random.Random(0))
+        assert len(train) == 80 and len(test) == 20
+        assert sorted(train + test) == list(range(100))
+
+
+class TestSparseVector:
+    def test_zero_values_dropped(self):
+        assert len(SparseVector({"a": 0.0, "b": 1.0})) == 1
+
+    def test_normalized_unit_length(self):
+        vec = SparseVector({"a": 3.0, "b": 4.0}).normalized()
+        assert abs(vec.norm() - 1.0) < 1e-9
+
+    def test_zero_vector_normalizes_to_zero(self):
+        assert SparseVector().normalized().norm() == 0.0
+
+    def test_cosine(self):
+        a = SparseVector({"x": 1.0})
+        b = SparseVector({"x": 2.0})
+        c = SparseVector({"y": 1.0})
+        assert abs(cosine_similarity(a, b) - 1.0) < 1e-9
+        assert cosine_similarity(a, c) == 0.0
+
+    def test_mean_vector(self):
+        m = mean_vector([SparseVector({"a": 2.0}), SparseVector({"b": 4.0})])
+        assert m["a"] == 1.0 and m["b"] == 2.0
+
+    def test_mean_empty(self):
+        assert len(mean_vector([])) == 0
+
+    def test_add_subtract(self):
+        a = SparseVector({"x": 1.0, "y": 2.0})
+        b = SparseVector({"y": 2.0})
+        assert a.subtract(b)["y"] == 0.0
+        assert a.add(b)["y"] == 4.0
+
+
+class TestSimClock:
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance(hours=12)
+        assert clock.now == 0.5
+        assert clock.day == 0
+        clock.advance(days=1)
+        assert clock.day == 1
+
+    def test_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(days=-1)
+
+    def test_stamps(self):
+        clock = SimClock()
+        clock.advance(days=2)
+        clock.stamp("deploy")
+        assert clock.history == [(2.0, "deploy")]

@@ -1,0 +1,119 @@
+"""Tests for repro.utils.text."""
+
+import pytest
+
+from repro.utils.text import (
+    STOPWORDS,
+    char_ngrams,
+    contains_word_sequence,
+    join_phrases,
+    ngrams,
+    normalize_text,
+    tokenize,
+    window,
+)
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Wedding Band") == "wedding band"
+
+    def test_strips_punctuation_but_keeps_hyphens_and_dots(self):
+        assert normalize_text("13-293snb, 38x30!") == "13-293snb 38x30"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("a   b\t c") == "a b c"
+
+    def test_empty(self):
+        assert normalize_text("") == ""
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Diamond Accent Ring") == ["diamond", "accent", "ring"]
+
+    def test_drops_stopwords_by_default(self):
+        assert "in" not in tokenize("ring in 10kt white gold")
+
+    def test_keeps_stopwords_when_asked(self):
+        assert "in" in tokenize("ring in gold", drop_stopwords=False)
+
+    def test_strips_edge_punctuation_from_tokens(self):
+        tokens = tokenize("38in. x 30in. indigo")
+        assert "38in" in tokens and "30in" in tokens
+
+    def test_preserves_intra_word_hyphen(self):
+        assert "pick-up" in tokenize("pick-up truck")
+
+    def test_empty_title(self):
+        assert tokenize("") == []
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_longer_than_input(self):
+        assert list(ngrams(["a"], 3)) == []
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestCharNgrams:
+    def test_basic(self):
+        assert char_ngrams("abcd", 3) == ["abc", "bcd"]
+
+    def test_spaces_become_separators(self):
+        grams = char_ngrams("ab cd", 3)
+        assert "b_c" in grams
+
+    def test_short_input(self):
+        assert char_ngrams("ab", 3) == ["ab"]
+
+    def test_empty(self):
+        assert char_ngrams("", 3) == []
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 0)
+
+
+class TestContainsWordSequence:
+    def test_in_order_non_contiguous(self):
+        assert contains_word_sequence(["denim", "blue", "jeans"], ["denim", "jeans"])
+
+    def test_order_matters(self):
+        assert not contains_word_sequence(["jeans", "denim"], ["denim", "jeans"])
+
+    def test_exact_token_match_only(self):
+        assert not contains_word_sequence(["jeans"], ["jean"])
+
+    def test_repeated_tokens(self):
+        assert contains_word_sequence(["a", "b", "a"], ["a", "a"])
+        assert not contains_word_sequence(["a", "b"], ["a", "a"])
+
+    def test_empty_sequence(self):
+        assert contains_word_sequence(["x"], [])
+
+
+class TestWindow:
+    def test_prefix_suffix(self):
+        tokens = list("abcdefg")
+        prefix, suffix = window(tokens, 3, 4, 2)
+        assert prefix == ["b", "c"]
+        assert suffix == ["e", "f"]
+
+    def test_clipped_at_edges(self):
+        prefix, suffix = window(["a", "b"], 0, 1, 5)
+        assert prefix == []
+        assert suffix == ["b"]
+
+
+def test_join_phrases():
+    assert join_phrases(["motor", "engine"]) == "motor|engine"
+
+
+def test_stopwords_are_lowercase():
+    assert all(word == word.lower() for word in STOPWORDS)

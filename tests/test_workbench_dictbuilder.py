@@ -1,0 +1,129 @@
+"""Tests for the rule workbench and the IE dictionary builder."""
+
+import pytest
+
+from repro.analyst import SimulatedAnalyst
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.core import BlacklistRule, RuleSet, WhitelistRule, parse_rules
+from repro.ie import DictionaryBuilder
+from repro.workbench import RuleWorkbench
+
+
+@pytest.fixture()
+def workbench(taxonomy, generator):
+    # Over-sample keychains so the "key ring" trap appears repeatedly in
+    # the development set (it must, for blacklist suggestions to trigger).
+    generator.set_type_weight("keychains", 6.0)
+    development = generator.generate_items(2500)
+    deployed = RuleSet(parse_rules("""
+        keychains? -> keychains
+        key rings? -> keychains
+    """), name="deployed")
+    analyst = SimulatedAnalyst(taxonomy, seed=5, verification_accuracy=1.0)
+    return RuleWorkbench(development, deployed=deployed, analyst=analyst, seed=5)
+
+
+class TestRuleWorkbench:
+    def test_preview_counts_and_samples(self, workbench):
+        rule = WhitelistRule("(motor|engine) oils?", "motor oil")
+        preview = workbench.preview(rule)
+        assert preview.matched > 0
+        assert 0 < len(preview.sample_titles) <= 5
+        assert preview.candidate_fraction < 0.3
+
+    def test_preview_precision_estimate(self, workbench):
+        clean = WhitelistRule("area rugs?", "area rugs")
+        preview = workbench.preview(clean)
+        assert preview.estimated_precision == 1.0
+        dirty = WhitelistRule("rings?", "rings")  # hits key rings too
+        preview = workbench.preview(dirty, verify_sample=200)
+        assert preview.estimated_precision is not None
+        assert preview.estimated_precision < 1.0
+
+    def test_conflicts_with_deployed(self, workbench):
+        # "rings?" hits key-ring titles that deployed keychain rules claim.
+        rule = WhitelistRule("rings?", "rings")
+        conflicts = workbench.conflicts(rule)
+        assert conflicts, "deployed key-ring rules should conflict"
+
+    def test_no_conflicts_for_disjoint_rule(self, workbench):
+        rule = WhitelistRule("area rugs?", "area rugs")
+        assert workbench.conflicts(rule) == []
+
+    def test_blacklist_suggestions_hit_the_trap(self, workbench):
+        rule = WhitelistRule("rings?", "rings")
+        suggestions = workbench.suggest_blacklists(rule)
+        assert any("key ring" in s for s in suggestions)
+        assert all(s.endswith("-> NOT rings") for s in suggestions)
+
+    def test_suggestions_empty_for_clean_rule(self, workbench):
+        rule = WhitelistRule("area rugs?", "area rugs")
+        assert workbench.suggest_blacklists(rule) == []
+
+    def test_render(self, workbench):
+        rule = WhitelistRule("rings?", "rings")
+        text = workbench.preview(rule, verify_sample=100).render()
+        assert "matches" in text and "precision" in text
+
+    def test_blacklist_rules_skip_precision(self, workbench):
+        rule = BlacklistRule("key rings?", "rings")
+        preview = workbench.preview(rule)
+        assert preview.estimated_precision is None
+        assert preview.conflicting_rules == []
+
+    def test_empty_dev_set_rejected(self):
+        with pytest.raises(ValueError):
+            RuleWorkbench([])
+
+
+class TestDictionaryBuilder:
+    CORPUS = [
+        "brand: castrol premium motor oil",
+        "brand: castrol synthetic blend",
+        "brand: pennzoil conventional oil",
+        "brand: pennzoil 5 quart",
+        "by valvoline for trucks",
+        "by valvoline high mileage",
+        "castrol bottle on shelf",          # non-marker occurrence
+        "premium quality motor oil deal",   # noise
+        "premium quality engine flush",
+    ]
+
+    def test_candidates_ranked_by_concentration(self):
+        builder = DictionaryBuilder(self.CORPUS, seeds=["mobil"])
+        phrases = [c.phrase for c in builder.candidates(top=5)]
+        assert "pennzoil" in phrases
+        assert "valvoline" in phrases
+        # "premium" occurs after "brand:" never and often elsewhere.
+        assert "premium" not in phrases[:3]
+
+    def test_seeds_excluded(self):
+        builder = DictionaryBuilder(self.CORPUS, seeds=["castrol"])
+        assert all(c.phrase != "castrol" for c in builder.candidates())
+
+    def test_concentration_math(self):
+        builder = DictionaryBuilder(self.CORPUS, seeds=["mobil"])
+        by_phrase = {c.phrase: c for c in builder.candidates(top=50)}
+        castrol = by_phrase["castrol"]
+        assert castrol.marker_occurrences == 2
+        assert castrol.total_occurrences == 3
+        assert castrol.concentration == pytest.approx(2 / 3)
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            DictionaryBuilder(self.CORPUS, seeds=[])
+
+    def test_build_with_analyst_on_catalog(self, taxonomy):
+        generator = CatalogGenerator(taxonomy, seed=61)
+        corpus = [item.description for item in generator.generate_items(1500)]
+        brands = set()
+        for product_type in taxonomy:
+            brands.update(product_type.brands)
+        seeds = sorted(brands)[:3]
+        builder = DictionaryBuilder(corpus, seeds=seeds, markers=("brand",))
+        analyst = SimulatedAnalyst(taxonomy, seed=62,
+                                   synonym_judgement_accuracy=1.0)
+        confirmed = builder.build(analyst, attribute="brand", pages=6)
+        found = confirmed - set(seeds)
+        assert len(found & brands) >= 5
+        assert found <= brands  # perfect analyst accepts only real brands
