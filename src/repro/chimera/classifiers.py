@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence, Set
 
 from repro.catalog.types import ProductItem
+from repro.core.prepared import ItemLike
 from repro.core.rule import Prediction
 from repro.core.ruleset import RuleSet
 from repro.learning.ensemble import VotingEnsemble
@@ -29,10 +30,10 @@ class ClassifierStage(ABC):
         self.enabled = True
 
     @abstractmethod
-    def predict(self, item: ProductItem) -> List[Prediction]:
+    def predict(self, item: ItemLike) -> List[Prediction]:
         """Weighted type votes for one item (empty when nothing fires)."""
 
-    def constraints(self, item: ProductItem) -> Optional[Set[str]]:
+    def constraints(self, item: ItemLike) -> Optional[Set[str]]:
         """Allowed-type restriction for ``item``, or None for unconstrained."""
         return None
 
@@ -44,14 +45,14 @@ class RuleBasedClassifier(ClassifierStage):
         super().__init__(name)
         self.rules = rules if rules is not None else RuleSet(name=name)
 
-    def predict(self, item: ProductItem) -> List[Prediction]:
+    def predict(self, item: ItemLike) -> List[Prediction]:
         verdict = self.rules.apply(item)
         return [
             Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
             for p in verdict.predictions
         ]
 
-    def vetoes(self, item: ProductItem) -> Set[str]:
+    def vetoes(self, item: ItemLike) -> Set[str]:
         """Types this stage's blacklists veto for ``item``."""
         return set(self.rules.apply(item).vetoed)
 
@@ -63,14 +64,14 @@ class AttributeValueClassifier(ClassifierStage):
         super().__init__(name)
         self.rules = rules if rules is not None else RuleSet(name=name)
 
-    def predict(self, item: ProductItem) -> List[Prediction]:
+    def predict(self, item: ItemLike) -> List[Prediction]:
         verdict = self.rules.apply(item)
         return [
             Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
             for p in verdict.predictions
         ]
 
-    def constraints(self, item: ProductItem) -> Optional[Set[str]]:
+    def constraints(self, item: ItemLike) -> Optional[Set[str]]:
         verdict = self.rules.apply(item)
         if verdict.constrained_to is None:
             return None
@@ -100,7 +101,7 @@ class LearningClassifierStage(ClassifierStage):
     def is_trained(self) -> bool:
         return self._trained
 
-    def predict(self, item: ProductItem) -> List[Prediction]:
+    def predict(self, item: ItemLike) -> List[Prediction]:
         if not self._trained:
             return []
         predictions = self.ensemble.predict(item.title)

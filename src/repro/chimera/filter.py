@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from repro.catalog.types import ProductItem
+from repro.core.prepared import ItemLike
 from repro.core.rule import Prediction
 from repro.core.ruleset import RuleSet
 
@@ -31,12 +32,12 @@ class FinalFilter:
     def revive_type(self, type_name: str) -> None:
         self.killed_types.discard(type_name)
 
-    def vetoed_types(self, item: ProductItem) -> Set[str]:
+    def vetoed_types(self, item: ItemLike) -> Set[str]:
         verdict = self.rules.apply(item)
         return set(verdict.vetoed) | self.killed_types
 
     def select(
-        self, item: ProductItem, ranked: List[Prediction], confidence_threshold: float
+        self, item: ItemLike, ranked: List[Prediction], confidence_threshold: float
     ) -> Optional[Prediction]:
         """First ranked candidate that survives vetoes and the threshold.
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.catalog.types import ProductItem
+from repro.core.prepared import ItemLike
 from repro.core.ruleset import RuleSet
 
 
@@ -36,7 +37,7 @@ class GateKeeper:
         self.bypass_rules = bypass_rules if bypass_rules is not None else RuleSet(name="gate")
         self.min_title_tokens = min_title_tokens
 
-    def process(self, item: ProductItem) -> GateDecision:
+    def process(self, item: ItemLike) -> GateDecision:
         title = item.title.strip()
         if not title or len(title.split()) < self.min_title_tokens:
             return GateDecision(GateAction.REJECT, reason="empty-or-short-title")

@@ -15,6 +15,7 @@ from repro.chimera.classifiers import (
 from repro.chimera.filter import FinalFilter
 from repro.chimera.gatekeeper import GateAction, GateKeeper
 from repro.chimera.voting import VotingMaster
+from repro.core.prepared import ItemLike, prepare
 from repro.core.rule import Rule
 from repro.core.ruleset import RuleSet
 from repro.learning.ensemble import VotingEnsemble
@@ -213,21 +214,28 @@ class Chimera:
 
     # -- classification -----------------------------------------------------------
 
-    def classify_item(self, item: ProductItem) -> Optional[ItemResult]:
-        """Classify one item; None means the gate rejected it as junk."""
-        decision = self.gatekeeper.process(item)
+    def classify_item(self, item: ItemLike) -> Optional[ItemResult]:
+        """Classify one item; None means the gate rejected it as junk.
+
+        The item is prepared (tokenized) once here; every stage, rule set,
+        and filter below shares the same
+        :class:`~repro.core.prepared.PreparedItem` view.
+        """
+        prepared = prepare(item)
+        raw_item = prepared.item
+        decision = self.gatekeeper.process(prepared)
         if decision.action is GateAction.REJECT:
             return None
         if decision.action is GateAction.CLASSIFY:
-            return ItemResult(item, decision.label, source="gate")
+            return ItemResult(raw_item, decision.label, source="gate")
         stages = [self.rule_stage, self.attr_stage, self.learning_stage]
-        final, ranked = self.voting.combine(item, stages)
+        final, ranked = self.voting.combine(prepared, stages)
         if final is None and not ranked:
-            return ItemResult(item, None, source="no-votes")
-        chosen = self.filter.select(item, ranked, self.voting.confidence_threshold)
+            return ItemResult(raw_item, None, source="no-votes")
+        chosen = self.filter.select(prepared, ranked, self.voting.confidence_threshold)
         if chosen is None:
-            return ItemResult(item, None, source="low-confidence-or-filtered")
-        return ItemResult(item, chosen.label, source="pipeline")
+            return ItemResult(raw_item, None, source="low-confidence-or-filtered")
+        return ItemResult(raw_item, chosen.label, source="pipeline")
 
     def explain_item(self, item: ProductItem) -> str:
         """A human-readable account of how the pipeline treated ``item``.
@@ -239,9 +247,10 @@ class Chimera:
         """
         from repro.core.explain import explain_verdict
 
-        result = self.classify_item(item)
+        prepared = prepare(item)
+        result = self.classify_item(prepared)
         lines: List[str] = []
-        decision = self.gatekeeper.process(item)
+        decision = self.gatekeeper.process(prepared)
         lines.append(f"gate: {decision.action.value}"
                      + (f" ({decision.reason})" if decision.reason else ""))
         for stage in (self.rule_stage, self.attr_stage):
@@ -250,11 +259,11 @@ class Chimera:
                 lines.append(f"stage {stage.name}:")
                 for step in explanation.steps:
                     lines.append(f"  [{step.kind}] {step.statement} -> {step.effect}")
-        learning_votes = self.learning_stage.predict(item)
+        learning_votes = self.learning_stage.predict(prepared)
         if learning_votes:
             rendered = ", ".join(f"{p.label} ({p.weight:.2f})" for p in learning_votes)
             lines.append(f"stage learning: {rendered}")
-        filter_vetoes = self.filter.vetoed_types(item)
+        filter_vetoes = self.filter.vetoed_types(prepared)
         if filter_vetoes:
             lines.append(f"filter vetoes: {sorted(filter_vetoes)}")
         label = result.label if result is not None else None

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.types import ProductItem
 from repro.chimera.classifiers import ClassifierStage
+from repro.core.prepared import ItemLike
 from repro.core.rule import Prediction
 
 
@@ -47,7 +48,7 @@ class VotingMaster:
 
     def combine(
         self,
-        item: ProductItem,
+        item: ItemLike,
         stages: Sequence[ClassifierStage],
     ) -> Tuple[Optional[Prediction], List[Prediction]]:
         """Combine all enabled stages' votes.

@@ -36,6 +36,7 @@ from repro.core.properties import (
     stage_partition,
     whitelist_conflicts,
 )
+from repro.core.prepared import ItemLike, PreparedItem, prepare, prepare_all
 from repro.core.registry import AuditEntry, RuleRegistry
 from repro.core.rule import (
     AttributeRule,
@@ -64,10 +65,12 @@ __all__ = [
     "DuplicateRuleError",
     "Explanation",
     "ExplanationStep",
+    "ItemLike",
     "LifecycleError",
     "OrderIndependenceReport",
     "PredicateRule",
     "Prediction",
+    "PreparedItem",
     "RegexRule",
     "Rule",
     "RuleError",
@@ -92,6 +95,8 @@ __all__ = [
     "load_ruleset",
     "parse_rule",
     "parse_rules",
+    "prepare",
+    "prepare_all",
     "save_registry",
     "save_ruleset",
     "stage_partition",

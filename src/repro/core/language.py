@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.catalog.types import ProductItem
 from repro.core.errors import RuleParseError, UnknownDictionaryError, UnknownUdfError
+from repro.core.prepared import PreparedItem
 from repro.core.rule import (
     AttributeRule,
     BlacklistRule,
@@ -137,6 +138,9 @@ class ConstraintRule(Rule):
     def matches(self, item: ProductItem) -> bool:
         return all(clause(item) for clause in self.clauses)
 
+    def matches_prepared(self, prepared: PreparedItem) -> bool:
+        return all(clause.evaluate_prepared(prepared) for clause in self.clauses)
+
     def describe(self) -> str:
         condition = " & ".join(c.description for c in self.clauses)
         return f"{self.rule_id}: {condition} -> {'|'.join(self.allowed_types)}"
@@ -152,7 +156,10 @@ def _title_regex_clause(pattern: str, source: str) -> Clause:
         title = " ".join(tokenize(item.title, drop_stopwords=False))
         return compiled.search(title) is not None
 
-    return Clause(description=f"title ~ {pattern}", test=test)
+    def prepared_test(prepared: PreparedItem) -> bool:
+        return compiled.search(prepared.match_text) is not None
+
+    return Clause(description=f"title ~ {pattern}", test=test, prepared_test=prepared_test)
 
 
 def _dictionary_clause(name: str, store: Optional[DictionaryStore], source: str) -> Clause:
@@ -161,7 +168,11 @@ def _dictionary_clause(name: str, store: Optional[DictionaryStore], source: str)
     phrases = store.get(name)  # raises UnknownDictionaryError for bad names
     pattern = "|".join(re.escape(p) for p in phrases)
     regex_clause = _title_regex_clause(pattern, source)
-    return Clause(description=f"dict({name})", test=regex_clause.test)
+    return Clause(
+        description=f"dict({name})",
+        test=regex_clause.test,
+        prepared_test=regex_clause.prepared_test,
+    )
 
 
 def _numeric_clause(field: str, op: str, threshold: float) -> Clause:
@@ -209,9 +220,12 @@ def _parse_clause(
     match = _ATTR_CLAUSE.match(text)
     if match:
         attribute = match.group(1)
+        # The prepared variants are the same logic routed through the
+        # PreparedItem's memoized lowercase attribute map.
         return Clause(
             description=f"attr({attribute})",
             test=lambda item: item.has_attribute(attribute),
+            prepared_test=lambda prepared: prepared.has_attribute(attribute),
         )
     match = _VALUE_CLAUSE.match(text)
     if match:
@@ -219,6 +233,8 @@ def _parse_clause(
         return Clause(
             description=f"value({attribute})={value}",
             test=lambda item: (item.attribute(attribute) or "").lower() == value,
+            prepared_test=lambda prepared: (prepared.attribute(attribute) or "").lower()
+            == value,
         )
     match = _DICT_CLAUSE.match(text)
     if match:

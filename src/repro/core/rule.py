@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.catalog.types import ProductItem
+from repro.core.prepared import PreparedItem, prepare
 from repro.utils.text import contains_word_sequence, tokenize
 
 
@@ -99,6 +100,16 @@ class Rule(ABC):
     def matches(self, item: ProductItem) -> bool:
         """True when the rule's condition holds for ``item``."""
 
+    def matches_prepared(self, prepared: PreparedItem) -> bool:
+        """Fast path over a :class:`~repro.core.prepared.PreparedItem`.
+
+        Subclasses whose condition only reads text views override this to
+        reuse the item's one-time tokenization; the default falls back to
+        :meth:`matches` on the wrapped item, so the two are always
+        result-identical.
+        """
+        return self.matches(prepared.item)
+
     @property
     def is_blacklist(self) -> bool:
         return False
@@ -112,6 +123,14 @@ class Rule(ABC):
         if self.is_blacklist or self.is_constraint:
             return None
         if self.matches(item):
+            return Prediction(self.target_type, weight=self.confidence, source=self.rule_id)
+        return None
+
+    def predict_prepared(self, prepared: PreparedItem) -> Optional[Prediction]:
+        """:meth:`predict` over the prepared fast path."""
+        if self.is_blacklist or self.is_constraint:
+            return None
+        if self.matches_prepared(prepared):
             return Prediction(self.target_type, weight=self.confidence, source=self.rule_id)
         return None
 
@@ -152,8 +171,10 @@ class RegexRule(Rule):
             raise ValueError(f"invalid rule regex {pattern!r}: {exc}") from exc
 
     def matches(self, item: ProductItem) -> bool:
-        title = " ".join(tokenize(item.title, drop_stopwords=False))
-        return self._compiled.search(title) is not None
+        return self.matches_prepared(prepare(item))
+
+    def matches_prepared(self, prepared: PreparedItem) -> bool:
+        return self._compiled.search(prepared.match_text) is not None
 
     def matches_text(self, title: str) -> bool:
         """Match against a raw title string (used on labeled titles)."""
@@ -198,6 +219,11 @@ class AttributeRule(Rule):
     def matches(self, item: ProductItem) -> bool:
         return item.has_attribute(self.attribute)
 
+    def matches_prepared(self, prepared: PreparedItem) -> bool:
+        # The prepared view memoizes a lowercased attribute map, replacing
+        # ProductItem's per-call linear scan.
+        return prepared.has_attribute(self.attribute)
+
     def describe(self) -> str:
         return f"{self.rule_id}: attr({self.attribute}) -> {self.target_type}"
 
@@ -234,6 +260,10 @@ class ValueConstraintRule(Rule):
         actual = item.attribute(self.attribute)
         return actual is not None and actual.lower() == self.value
 
+    def matches_prepared(self, prepared: PreparedItem) -> bool:
+        actual = prepared.attribute(self.attribute)
+        return actual is not None and actual.lower() == self.value
+
     def describe(self) -> str:
         allowed = "|".join(self.allowed_types)
         return f"{self.rule_id}: value({self.attribute})={self.value} -> {allowed}"
@@ -241,13 +271,26 @@ class ValueConstraintRule(Rule):
 
 @dataclass(frozen=True)
 class Clause:
-    """One AND-ed predicate of a :class:`PredicateRule`."""
+    """One AND-ed predicate of a :class:`PredicateRule`.
+
+    ``prepared_test``, when present, is the clause evaluated against a
+    :class:`~repro.core.prepared.PreparedItem` — title clauses set it so
+    predicate rules share the item's one-time tokenization.
+    """
 
     description: str
     test: Callable[[ProductItem], bool] = field(compare=False)
+    prepared_test: Optional[Callable[[PreparedItem], bool]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __call__(self, item: ProductItem) -> bool:
         return self.test(item)
+
+    def evaluate_prepared(self, prepared: PreparedItem) -> bool:
+        if self.prepared_test is not None:
+            return self.prepared_test(prepared)
+        return self.test(prepared.item)
 
 
 class PredicateRule(Rule):
@@ -280,6 +323,9 @@ class PredicateRule(Rule):
     def matches(self, item: ProductItem) -> bool:
         return all(clause(item) for clause in self.clauses)
 
+    def matches_prepared(self, prepared: PreparedItem) -> bool:
+        return all(clause.evaluate_prepared(prepared) for clause in self.clauses)
+
     def describe(self) -> str:
         condition = " & ".join(clause.description for clause in self.clauses)
         arrow = "-> NOT" if self._negated else "->"
@@ -309,6 +355,9 @@ class SequenceRule(Rule):
 
     def matches(self, item: ProductItem) -> bool:
         return self.matches_text(item.title)
+
+    def matches_prepared(self, prepared: PreparedItem) -> bool:
+        return contains_word_sequence(prepared.tokens, self.token_sequence)
 
     def matches_text(self, title: str) -> bool:
         return contains_word_sequence(tokenize(title), self.token_sequence)

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.catalog.types import ProductItem
 from repro.core.errors import DuplicateRuleError, UnknownRuleError
+from repro.core.prepared import ItemLike, prepare
 from repro.core.rule import Prediction, Rule
 
 
@@ -146,14 +147,20 @@ class RuleSet:
 
     # -- evaluation ------------------------------------------------------------------
 
-    def apply(self, item: ProductItem) -> RuleVerdict:
+    def apply(self, item: ItemLike) -> RuleVerdict:
         """Evaluate all active rules on ``item`` (whitelists → constraints →
-        blacklists) and return the verdict."""
+        blacklists) and return the verdict.
+
+        Accepts either a raw :class:`~repro.catalog.types.ProductItem` or a
+        :class:`~repro.core.prepared.PreparedItem`; either way the item's
+        derived text views are computed at most once for the whole verdict.
+        """
+        prepared = prepare(item)
         fired: List[str] = []
         predictions: List[Prediction] = []
         seen_labels: Set[str] = set()
         for rule in self.whitelists():
-            prediction = rule.predict(item)
+            prediction = rule.predict_prepared(prepared)
             if prediction is not None:
                 fired.append(rule.rule_id)
                 if prediction.label not in seen_labels:
@@ -169,7 +176,7 @@ class RuleSet:
 
         allowed: Optional[Set[str]] = None
         for rule in self.constraints():
-            if rule.matches(item):
+            if rule.matches_prepared(prepared):
                 fired.append(rule.rule_id)
                 rule_allowed = set(rule.allowed_types)
                 allowed = rule_allowed if allowed is None else (allowed & rule_allowed)
@@ -178,7 +185,7 @@ class RuleSet:
 
         vetoed: List[str] = []
         for rule in self.blacklists():
-            if rule.matches(item):
+            if rule.matches_prepared(prepared):
                 fired.append(rule.rule_id)
                 vetoed.append(rule.target_type)
         veto_set = set(vetoed)
@@ -191,12 +198,14 @@ class RuleSet:
             fired=tuple(fired),
         )
 
-    def coverage(self, items: Sequence[ProductItem]) -> Dict[str, List[str]]:
+    def coverage(self, items: Sequence[ItemLike]) -> Dict[str, List[str]]:
         """rule id -> item ids it fires on. The §4 evaluation methods and the
         §5.2 selection algorithms both work off coverage sets."""
         covered: Dict[str, List[str]] = {rule.rule_id: [] for rule in self}
+        active = self.active_rules()
         for item in items:
-            for rule in self.active_rules():
-                if rule.matches(item):
-                    covered[rule.rule_id].append(item.item_id)
+            prepared = prepare(item)
+            for rule in active:
+                if rule.matches_prepared(prepared):
+                    covered[rule.rule_id].append(prepared.item_id)
         return covered

@@ -13,6 +13,7 @@ from typing import Iterable, Sequence
 from repro.catalog.types import ProductItem
 from repro.core.rule import Rule
 from repro.utils.stats import f1_score
+from repro.core.prepared import prepare_all
 
 
 @dataclass(frozen=True)
@@ -40,11 +41,11 @@ def rule_quality(rule: Rule, items: Sequence[ProductItem]) -> RuleQuality:
     matched_correct = 0
     matched_wrong = 0
     type_total = 0
-    for item in items:
+    for item in prepare_all(items):
         is_type = item.true_type == rule.target_type
         if is_type:
             type_total += 1
-        if rule.matches(item):
+        if rule.matches_prepared(item):
             if is_type:
                 matched_correct += 1
             else:
@@ -74,9 +75,9 @@ def ruleset_quality(rules: Iterable[Rule], items: Sequence[ProductItem]) -> Rule
     rules = list(rules)
     targets = {rule.target_type for rule in rules}
     type_total = sum(1 for item in items if item.true_type in targets)
-    for item in items:
+    for item in prepare_all(items):
         for rule in rules:
-            if rule.matches(item):
+            if rule.matches_prepared(item):
                 if item.true_type == rule.target_type:
                     matched_correct += 1
                     covered_correct_items.add(item.item_id)

@@ -11,9 +11,14 @@ to execute the rules in parallel on a cluster of machines."
   can be evaluated against only its plausible matches;
 * :class:`NaiveExecutor` / :class:`IndexedExecutor` — measured executors;
 * :class:`PartitionedExecutor` — shard items across simulated cluster
-  workers (map/reduce over serialized rules).
+  workers (map/reduce over serialized rules and prepared token payloads).
+
+All executors run over :class:`~repro.core.prepared.PreparedItem` views:
+each item is normalized/tokenized exactly once per run and every rule
+evaluation (and the index probe) shares those views.
 """
 
+from repro.core.prepared import PreparedItem, prepare, prepare_all
 from repro.execution.data_index import DataIndex
 from repro.execution.executor import ExecutionStats, IndexedExecutor, NaiveExecutor
 from repro.execution.parallel import PartitionedExecutor, ShardReport, critical_path
@@ -25,7 +30,10 @@ __all__ = [
     "IndexedExecutor",
     "NaiveExecutor",
     "PartitionedExecutor",
+    "PreparedItem",
     "RuleIndex",
     "ShardReport",
     "critical_path",
+    "prepare",
+    "prepare_all",
 ]

@@ -4,6 +4,10 @@
 it) ... the analyst often needs to run variations of rule R repeatedly on a
 development data set D ... a solution direction is to index the data set D
 for efficient rule execution."
+
+Items are prepared (tokenized) exactly once at build time; every rule run
+against the index reuses those :class:`~repro.core.prepared.PreparedItem`
+views instead of re-tokenizing per evaluation.
 """
 
 from __future__ import annotations
@@ -12,8 +16,8 @@ from collections import defaultdict
 from typing import Dict, List, Sequence, Set
 
 from repro.catalog.types import ProductItem
+from repro.core.prepared import PreparedItem, prepare_all
 from repro.core.rule import Rule, SequenceRule
-from repro.utils.text import tokenize
 
 
 class DataIndex:
@@ -21,13 +25,12 @@ class DataIndex:
 
     def __init__(self, items: Sequence[ProductItem]):
         self.items = list(items)
+        self._prepared: List[PreparedItem] = prepare_all(self.items)
         self._postings: Dict[str, Set[int]] = defaultdict(set)
-        for row, item in enumerate(self.items):
-            for token in set(tokenize(item.title, drop_stopwords=False)):
+        for row, prepared in enumerate(self._prepared):
+            # Post plural-expanded anchors so "ring" anchors find "rings".
+            for token in prepared.anchor_tokens:
                 self._postings[token].add(row)
-                # Post singular forms too, so "ring" anchors find "rings".
-                if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
-                    self._postings[token[:-1]].add(row)
 
     def __len__(self) -> int:
         return len(self.items)
@@ -57,7 +60,7 @@ class DataIndex:
         return [
             self.items[row]
             for row in self.candidate_rows(rule)
-            if rule.matches(self.items[row])
+            if rule.matches_prepared(self._prepared[row])
         ]
 
     def candidate_fraction(self, rule: Rule) -> float:

@@ -6,15 +6,23 @@ workers, rules are *serialized* to each worker and rebuilt there (as they
 would be shipped to Hadoop tasks), each shard reports its own work, and the
 driver merges shard outputs. With ``use_processes=True`` the shards run in
 a real process pool.
+
+The driver tokenizes each item exactly once into a
+:class:`~repro.core.prepared.PreparedItem` and ships the *prepared token
+payloads* to the shards, so workers never re-tokenize — the same
+"precompute the per-record views once" discipline the single-node
+executors follow.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.types import ProductItem
+from repro.core.prepared import ItemLike, PreparedItem, prepare
 from repro.core.rule import Rule
 from repro.core.serialize import rules_from_dicts, rules_to_dicts
 from repro.execution.executor import ExecutionStats, IndexedExecutor
@@ -33,14 +41,15 @@ class ShardReport:
 def _run_shard(
     shard_id: int,
     rule_payloads: List[Dict[str, Any]],
-    shard_items: List[ProductItem],
+    item_payloads: List[Dict[str, Any]],
     token_frequency: Optional[Dict[str, int]],
-) -> Tuple[int, Dict[str, List[str]], int, int, int]:
-    """Worker entry point: rebuild rules, execute the shard."""
+) -> Tuple[int, Dict[str, List[str]], ExecutionStats]:
+    """Worker entry point: rebuild rules and prepared items, execute."""
     rules = rules_from_dicts(rule_payloads)
+    shard_items = [PreparedItem.from_payload(payload) for payload in item_payloads]
     executor = IndexedExecutor(rules, token_frequency=token_frequency)
     fired, stats = executor.run(shard_items)
-    return shard_id, fired, stats.items, stats.rule_evaluations, stats.matches
+    return shard_id, fired, stats
 
 
 class PartitionedExecutor:
@@ -60,17 +69,21 @@ class PartitionedExecutor:
         self.use_processes = use_processes
         self.token_frequency = token_frequency
 
-    def _shards(self, items: Sequence[ProductItem]) -> List[List[ProductItem]]:
-        shards: List[List[ProductItem]] = [[] for _ in range(self.n_workers)]
+    def _shards(self, items: Sequence[ItemLike]) -> Tuple[List[List[Dict[str, Any]]], float]:
+        """Round-robin item shards as prepared payloads, plus prepare time."""
+        started = time.perf_counter()
+        shards: List[List[Dict[str, Any]]] = [[] for _ in range(self.n_workers)]
         for index, item in enumerate(items):
-            shards[index % self.n_workers].append(item)
-        return shards
+            payload = prepare(item).to_payload()
+            shards[index % self.n_workers].append(payload)
+        return shards, time.perf_counter() - started
 
     def run(
-        self, items: Sequence[ProductItem]
+        self, items: Sequence[ItemLike]
     ) -> Tuple[Dict[str, List[str]], ExecutionStats, List[ShardReport]]:
-        shards = self._shards(items)
-        outputs = []
+        started = time.perf_counter()
+        shards, driver_prepare_time = self._shards(items)
+        outputs: List[Tuple[int, Dict[str, List[str]], ExecutionStats]] = []
         if self.use_processes:
             with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
                 futures = [
@@ -89,12 +102,19 @@ class PartitionedExecutor:
         merged: Dict[str, List[str]] = {}
         total = ExecutionStats()
         reports: List[ShardReport] = []
-        for shard_id, fired, n_items, evaluations, matches in sorted(outputs):
+        for shard_id, fired, shard_stats in sorted(outputs, key=lambda out: out[0]):
             merged.update(fired)
-            total.items += n_items
-            total.rule_evaluations += evaluations
-            total.matches += matches
-            reports.append(ShardReport(shard_id, n_items, evaluations, matches))
+            total.merge(shard_stats)
+            reports.append(
+                ShardReport(
+                    shard_id,
+                    shard_stats.items,
+                    shard_stats.rule_evaluations,
+                    shard_stats.matches,
+                )
+            )
+        total.prepare_time += driver_prepare_time
+        total.wall_time = time.perf_counter() - started
         return merged, total, reports
 
 def critical_path(reports: Sequence[ShardReport]) -> int:

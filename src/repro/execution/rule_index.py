@@ -9,6 +9,11 @@ Soundness contract per rule class:
   posting lists short;
 * rules with no extractable anchors (or non-title rules like attribute
   rules) fall into an always-check residue list.
+
+Removal is O(postings actually holding the rule), not O(index): a
+``rule_id -> posting keys`` reverse map records where each rule was
+posted, so churn (analysts disabling and retiring rules constantly) never
+triggers a scan of every posting list.
 """
 
 from __future__ import annotations
@@ -17,8 +22,12 @@ from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.catalog.types import ProductItem
+from repro.core.prepared import ItemLike, prepare
 from repro.core.rule import Rule, SequenceRule
 from repro.utils.text import tokenize
+
+# Reverse-map sentinel for "posted to the residue list, not a token".
+_RESIDUE_KEY = None
 
 
 class RuleIndex:
@@ -32,6 +41,9 @@ class RuleIndex:
         self._postings: Dict[str, List[Rule]] = defaultdict(list)
         self._residue: List[Rule] = []
         self._token_frequency = dict(token_frequency or {})
+        # rule_id -> posting keys (tokens, or _RESIDUE_KEY) the rule lives
+        # under; consulted by remove() so it never scans unrelated postings.
+        self._keys_by_rule: Dict[str, List[Optional[str]]] = {}
         self._size = 0
         for rule in rules:
             self.add(rule)
@@ -45,34 +57,43 @@ class RuleIndex:
 
     def add(self, rule: Rule) -> None:
         self._size += 1
+        keys = self._keys_by_rule.setdefault(rule.rule_id, [])
         if isinstance(rule, SequenceRule):
             anchor = self._rarest(rule.token_sequence)
             self._postings[anchor].append(rule)
+            keys.append(anchor)
             return
         anchors = rule.anchor_literals()
         if not anchors:
             self._residue.append(rule)
+            keys.append(_RESIDUE_KEY)
             return
         for anchor in anchors:
             self._postings[anchor].append(rule)
+            keys.append(anchor)
 
     def remove(self, rule_id: str) -> bool:
         """Remove a rule from the index; True if it was present.
 
         Rule bases churn constantly (analysts disable and retire rules);
-        the index must follow without a full rebuild.
+        the index must follow without a full rebuild. The reverse map makes
+        this touch only the posting lists the rule actually occupies.
         """
-        removed = False
-        for postings in self._postings.values():
-            before = len(postings)
-            postings[:] = [rule for rule in postings if rule.rule_id != rule_id]
-            removed = removed or len(postings) != before
-        before = len(self._residue)
-        self._residue = [rule for rule in self._residue if rule.rule_id != rule_id]
-        removed = removed or len(self._residue) != before
-        if removed:
-            self._size -= 1
-        return removed
+        keys = self._keys_by_rule.pop(rule_id, None)
+        if keys is None:
+            return False
+        for key in set(keys):
+            if key is _RESIDUE_KEY:
+                self._residue = [r for r in self._residue if r.rule_id != rule_id]
+                continue
+            postings = self._postings.get(key)
+            if postings is None:
+                continue
+            postings[:] = [r for r in postings if r.rule_id != rule_id]
+            if not postings:
+                del self._postings[key]
+        self._size -= 1
+        return True
 
     def _rarest(self, tokens: Sequence[str]) -> str:
         """The corpus-rarest token (longest as fallback heuristic)."""
@@ -82,21 +103,20 @@ class RuleIndex:
             )
         return max(tokens, key=lambda t: (len(t), t))
 
-    def candidates(self, item: ProductItem) -> List[Rule]:
+    def candidates(self, item: ItemLike) -> List[Rule]:
         """Rules that might match ``item`` (superset of actual matches).
 
         Matching against anchors uses the item's tokens *and* their crude
         singular forms so plural-tolerant anchors like "ring" hit "rings".
+        Accepts a :class:`~repro.core.prepared.PreparedItem` to reuse the
+        item's one-time tokenization; raw items are prepared on the fly.
         """
-        tokens = set(tokenize(item.title, drop_stopwords=False))
-        expanded: Set[str] = set(tokens)
-        for token in tokens:
-            if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
-                expanded.add(token[:-1])
+        prepared = prepare(item)
         seen: Set[str] = set()
         found: List[Rule] = []
-        for token in expanded:
-            for rule in self._postings.get(token, ()):
+        postings = self._postings
+        for token in prepared.anchor_tokens:
+            for rule in postings.get(token, ()):
                 if rule.rule_id not in seen:
                     seen.add(rule.rule_id)
                     found.append(rule)

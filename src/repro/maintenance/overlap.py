@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence, Set
 
 from repro.catalog.types import ProductItem
 from repro.core.rule import Rule
+from repro.core.prepared import prepare_all
 
 
 @dataclass(frozen=True)
@@ -38,8 +39,13 @@ def find_overlaps(
     if not 0.0 < threshold <= 1.0:
         raise ValueError(f"threshold must be in (0, 1], got {threshold}")
     whitelists = [r for r in rules if not r.is_blacklist and not r.is_constraint]
+    prepared_items = prepare_all(items)
     coverage: Dict[str, Set[int]] = {
-        rule.rule_id: {row for row, item in enumerate(items) if rule.matches(item)}
+        rule.rule_id: {
+            row
+            for row, prepared in enumerate(prepared_items)
+            if rule.matches_prepared(prepared)
+        }
         for rule in whitelists
     }
     pairs: List[OverlapPair] = []

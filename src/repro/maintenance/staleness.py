@@ -16,6 +16,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.types import ProductItem
 from repro.core.rule import Rule
+from repro.core.prepared import prepare_all
 
 
 @dataclass(frozen=True)
@@ -63,11 +64,12 @@ class StalenessMonitor:
         benchmark configuration.
         """
         self._batches_seen += 1
+        prepared_items = prepare_all(items)
         for rule in rules:
             hits = 0
             correct = 0
-            for item in items:
-                if rule.matches(item):
+            for item in prepared_items:
+                if rule.matches_prepared(item):
                     hits += 1
                     if item.true_type == rule.target_type:
                         correct += 1

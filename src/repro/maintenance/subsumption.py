@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.catalog.types import ProductItem
 from repro.core.rule import RegexRule, Rule, SequenceRule
 from repro.utils.text import contains_word_sequence
+from repro.core.prepared import prepare_all
 
 
 @dataclass(frozen=True)
@@ -78,9 +79,12 @@ def find_subsumptions(
 
     coverage: Dict[str, Set[int]] = {}
     if items:
+        prepared_items = prepare_all(items)
         for rule in rules:
             coverage[rule.rule_id] = {
-                row for row, item in enumerate(items) if rule.matches(item)
+                row
+                for row, prepared in enumerate(prepared_items)
+                if rule.matches_prepared(prepared)
             }
 
     for target in sorted(by_target):

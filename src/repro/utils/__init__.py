@@ -10,9 +10,12 @@ from repro.utils.sampling import reservoir_sample, stratified_sample
 from repro.utils.stats import mean, wilson_interval
 from repro.utils.text import (
     STOPWORDS,
+    expand_plural_singulars,
     ngrams,
     normalize_text,
+    singular_form,
     tokenize,
+    tokenize_cached,
 )
 from repro.utils.vectors import SparseVector, cosine_similarity, mean_vector
 
@@ -21,12 +24,15 @@ __all__ = [
     "SimClock",
     "SparseVector",
     "cosine_similarity",
+    "expand_plural_singulars",
     "mean",
     "mean_vector",
     "ngrams",
     "normalize_text",
     "reservoir_sample",
+    "singular_form",
     "stratified_sample",
     "tokenize",
+    "tokenize_cached",
     "wilson_interval",
 ]

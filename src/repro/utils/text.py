@@ -9,7 +9,8 @@ dictionary plus the tokenizer.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from functools import lru_cache
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
 # Stop words the analysts' preprocessing removes before sequence mining.
 # Deliberately small: product titles are terse and most tokens carry signal.
@@ -26,6 +27,15 @@ _TOKEN = re.compile(r"[a-z0-9][a-z0-9\-./]*")
 _MULTISPACE = re.compile(r"\s+")
 
 
+# Titles repeat heavily across rule evaluations (search, EM blocking,
+# learning features, repeated executor runs), so normalization and
+# tokenization are memoized behind bounded LRU caches. The caches hold
+# immutable values (strings / tuples); the public list-returning API copies
+# on the way out so callers can keep mutating their token lists.
+_TEXT_CACHE_SIZE = 32768
+
+
+@lru_cache(maxsize=_TEXT_CACHE_SIZE)
 def normalize_text(text: str) -> str:
     """Lowercase ``text`` and strip punctuation the rule pipeline ignores.
 
@@ -37,18 +47,59 @@ def normalize_text(text: str) -> str:
     return _MULTISPACE.sub(" ", stripped).strip()
 
 
-def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
-    """Split ``text`` into normalized tokens.
+@lru_cache(maxsize=_TEXT_CACHE_SIZE)
+def tokenize_cached(text: str, drop_stopwords: bool = True) -> Tuple[str, ...]:
+    """Tokenize ``text`` to an immutable (cache-shared) token tuple.
 
-    >>> tokenize("Men's Relaxed Fit Denim Jeans, 2 Pack")
-    ['men', 's', 'relaxed', 'fit', 'denim', 'jeans', '2', 'pack']
+    Hot paths that never mutate the result (the prepared-item layer, the
+    rule/data indexes) should call this directly and skip the list copy
+    :func:`tokenize` makes.
     """
     tokens = _TOKEN.findall(normalize_text(text))
     cleaned = [token.strip(".-/") for token in tokens]
     kept = [token for token in cleaned if token]
     if drop_stopwords:
         kept = [token for token in kept if token not in STOPWORDS]
-    return kept
+    return tuple(kept)
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
+    """Split ``text`` into normalized tokens.
+
+    >>> tokenize("Men's Relaxed Fit Denim Jeans, 2 Pack")
+    ['men', 's', 'relaxed', 'fit', 'denim', 'jeans', '2', 'pack']
+    """
+    return list(tokenize_cached(text, drop_stopwords))
+
+
+def singular_form(token: str) -> str:
+    """Crude singular of a plural token, or the token itself.
+
+    The plural bridging used by the execution indexes: "rings" -> "ring",
+    but "dress"/"gas" stay put.
+
+    >>> singular_form("rings")
+    'ring'
+    >>> singular_form("dress")
+    'dress'
+    """
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def expand_plural_singulars(tokens: Iterable[str]) -> FrozenSet[str]:
+    """Token set augmented with crude singular forms.
+
+    This is the anchor-matching alphabet of the execution layer: an index
+    posting under "ring" must be found by a title containing "rings".
+    """
+    expanded = set(tokens)
+    for token in tuple(expanded):
+        singular = singular_form(token)
+        if singular != token:
+            expanded.add(singular)
+    return frozenset(expanded)
 
 
 def ngrams(tokens: Sequence[str], n: int) -> Iterator[Tuple[str, ...]]:

@@ -5,6 +5,7 @@ import pytest
 from repro.catalog.types import ProductItem
 from repro.core import (
     AttributeRule,
+    PreparedItem,
     SequenceRule,
     WhitelistRule,
     parse_rules,
@@ -16,6 +17,7 @@ from repro.execution import (
     PartitionedExecutor,
     RuleIndex,
     critical_path,
+    prepare,
 )
 
 
@@ -72,6 +74,76 @@ class TestRuleIndex:
         freq = RuleIndex.corpus_token_frequency(["rug mat", "rug lamp"])
         assert freq == {"rug": 2, "mat": 1, "lamp": 1}
 
+    def test_candidates_accept_prepared_items(self):
+        index = RuleIndex(RULES)
+        for thing in ITEMS:
+            raw_ids = {rule.rule_id for rule in index.candidates(thing)}
+            prepared_ids = {
+                rule.rule_id for rule in index.candidates(PreparedItem(thing))
+            }
+            assert raw_ids == prepared_ids
+
+
+class _CountingPostings(dict):
+    """Postings dict that counts lookups, to prove remove() never scans."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.lookups = 0
+
+    def get(self, key, default=None):
+        self.lookups += 1
+        return super().get(key, default)
+
+
+class TestRuleIndexRemove:
+    def _big_index(self, n=10_000):
+        rules = [
+            SequenceRule((f"alpha{i}", f"beta{i}"), "t", rule_id=f"seq-{i:05d}")
+            for i in range(n)
+        ]
+        return RuleIndex(rules), rules
+
+    def test_remove_present_and_absent(self):
+        index, rules = self._big_index(100)
+        assert index.remove(rules[17].rule_id) is True
+        assert index.remove(rules[17].rule_id) is False
+        assert index.remove("never-existed") is False
+        assert len(index) == 99
+
+    def test_remove_does_not_scan_posting_lists(self):
+        """On a 10k-rule index, removal touches only the rule's own postings."""
+        index, rules = self._big_index(10_000)
+        counting = _CountingPostings(index._postings)
+        index._postings = counting
+        counting.lookups = 0
+        assert index.remove(rules[1234].rule_id) is True
+        # A sequence rule lives under exactly one posting key.
+        assert counting.lookups <= 2
+        assert len(index) == 9_999
+
+    def test_remove_regex_rule_clears_all_anchor_postings(self):
+        rule = WhitelistRule("(motor|engine) oils?", "motor oil")
+        index = RuleIndex([rule])
+        assert index.remove(rule.rule_id) is True
+        assert len(index) == 0
+        assert index.candidates(item("castrol motor oil")) == []
+
+    def test_remove_residue_rule(self):
+        rule = AttributeRule("isbn", "books")
+        index = RuleIndex([rule])
+        assert index.residue_count == 1
+        assert index.remove(rule.rule_id) is True
+        assert index.residue_count == 0
+
+    def test_remove_all_rules_empties_index(self):
+        index, rules = self._big_index(1_000)
+        for rule in rules:
+            assert index.remove(rule.rule_id)
+        assert len(index) == 0
+        assert not index._postings
+        assert not index._keys_by_rule
+
 
 class TestExecutors:
     def test_naive_and_indexed_agree(self):
@@ -91,6 +163,74 @@ class TestExecutors:
         _, indexed_stats = IndexedExecutor(many_rules).run(corpus_items[:50])
         assert naive_stats.evaluations_per_item == 200
         assert indexed_stats.evaluations_per_item < 5
+
+    def test_both_executors_return_sorted_rule_ids(self):
+        """Deterministic output contract: fired lists are sorted."""
+        naive_fired, _ = NaiveExecutor(RULES).run(ITEMS)
+        indexed_fired, _ = IndexedExecutor(RULES).run(ITEMS)
+        assert naive_fired == indexed_fired
+        for fired in (naive_fired, indexed_fired):
+            for hits in fired.values():
+                assert hits == sorted(hits)
+
+    def test_disabled_rules_do_not_fire(self):
+        rules = parse_rules("rings? -> rings\ndiamond -> jewelry")
+        rules[0].enabled = False
+        target = item("diamond ring gold")
+        naive_fired, _ = NaiveExecutor(rules).run([target])
+        indexed_fired, _ = IndexedExecutor(rules).run([target])
+        assert naive_fired == indexed_fired
+        assert naive_fired[target.item_id] == [rules[1].rule_id]
+
+    def test_executors_accept_prepared_items(self):
+        prepared = [prepare(thing) for thing in ITEMS]
+        from_raw, _ = NaiveExecutor(RULES).run(ITEMS)
+        from_prepared, _ = NaiveExecutor(RULES).run(prepared)
+        assert from_raw == from_prepared
+
+    def test_stats_report_timing_split(self):
+        _, stats = IndexedExecutor(RULES).run(ITEMS)
+        assert stats.wall_time > 0
+        assert stats.prepare_time >= 0
+        assert stats.match_time >= 0
+        assert stats.prepare_time + stats.match_time <= stats.wall_time + 1e-6
+        assert stats.items_per_second > 0
+
+
+class TestPreparedItem:
+    def test_matches_prepared_agrees_with_matches(self):
+        for thing in ITEMS:
+            prepared = PreparedItem(thing)
+            for rule in RULES:
+                assert rule.matches(thing) == rule.matches_prepared(prepared)
+
+    def test_duck_types_product_item_surface(self):
+        thing = item("castrol motor oil 5 quart", isbn="978")
+        prepared = PreparedItem(thing)
+        assert prepared.title == thing.title
+        assert prepared.item_id == thing.item_id
+        assert prepared.attribute("ISBN") == "978"
+        assert prepared.has_attribute("isbn")
+        assert prepared.attribute("missing", "dflt") == "dflt"
+
+    def test_views_are_memoized(self):
+        prepared = PreparedItem(item("shaw area rug 5x7"))
+        assert prepared.tokens is prepared.tokens
+        assert prepared.match_text is prepared.match_text
+        assert prepared.anchor_tokens is prepared.anchor_tokens
+
+    def test_payload_round_trip_preserves_views(self):
+        prepared = PreparedItem(item("relaxed denim jeans"))
+        payload = prepared.to_payload()
+        rebuilt = PreparedItem.from_payload(payload)
+        assert rebuilt.tokens == prepared.tokens
+        assert rebuilt.tokens_with_stopwords == prepared.tokens_with_stopwords
+        assert rebuilt.match_text == prepared.match_text
+        assert rebuilt.item == prepared.item
+
+    def test_prepare_is_idempotent(self):
+        prepared = prepare(ITEMS[0])
+        assert prepare(prepared) is prepared
 
 
 class TestPartitionedExecutor:
