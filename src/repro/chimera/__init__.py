@@ -17,7 +17,15 @@ from repro.chimera.classifiers import (
 from repro.chimera.filter import FinalFilter
 from repro.chimera.gatekeeper import GateAction, GateDecision, GateKeeper
 from repro.chimera.incidents import Incident, IncidentManager
-from repro.chimera.monitoring import BatchStats, PrecisionMonitor
+from repro.chimera.monitoring import (
+    BatchStats,
+    BreakerState,
+    CircuitBreaker,
+    GuardedStage,
+    PrecisionMonitor,
+    StageFault,
+    StageHealthMonitor,
+)
 from repro.chimera.pipeline import BatchResult, Chimera, ItemResult
 from repro.chimera.voting import VotingMaster
 
@@ -26,18 +34,23 @@ __all__ = [
     "BatchReport",
     "BatchResult",
     "BatchStats",
+    "BreakerState",
     "Chimera",
+    "CircuitBreaker",
     "ClassifierStage",
     "FeedbackLoop",
     "FinalFilter",
     "GateAction",
     "GateDecision",
     "GateKeeper",
+    "GuardedStage",
     "Incident",
     "IncidentManager",
     "ItemResult",
     "LearningClassifierStage",
     "PrecisionMonitor",
     "RuleBasedClassifier",
+    "StageFault",
+    "StageHealthMonitor",
     "VotingMaster",
 ]

@@ -21,7 +21,14 @@ _incident_ids = itertools.count(1)
 
 @dataclass
 class Incident:
-    """One quality incident and everything done to contain it."""
+    """One incident and everything done to contain it.
+
+    ``kind`` distinguishes *quality* incidents (a type's precision burned;
+    the scale-down / repair / restore playbook applies) from
+    *stage-failure* incidents (a classifier stage started throwing and its
+    circuit breaker opened; containment is automatic, the incident exists
+    for visibility and postmortem).
+    """
 
     incident_id: str
     opened_at: float
@@ -29,6 +36,7 @@ class Incident:
     disabled_rule_ids: Dict[str, List[str]] = field(default_factory=dict)
     status: str = "open"  # open -> scaled-down -> repaired -> closed
     notes: List[str] = field(default_factory=list)
+    kind: str = "quality"  # "quality" | "stage-failure"
 
 
 class IncidentManager:
@@ -49,6 +57,46 @@ class IncidentManager:
         self.incidents.append(incident)
         return incident
 
+    def open_stage_incident(self, stage_name: str, at: float = 0.0) -> Incident:
+        """Record that a classifier stage's circuit breaker opened.
+
+        The breaker already routed traffic around the stage, so there is
+        nothing to scale down; the incident gives operators the §2.2
+        detect → debug → restore trail for component failures.
+        """
+        incident = Incident(
+            incident_id=f"incident-{next(_incident_ids):04d}",
+            opened_at=at,
+            affected_types=(stage_name,),
+            kind="stage-failure",
+        )
+        incident.notes.append(
+            f"circuit breaker opened for stage {stage_name!r}; "
+            "stage is being routed around"
+        )
+        self.incidents.append(incident)
+        return incident
+
+    def watch_health(self, clock=None) -> None:
+        """Auto-open a stage incident whenever a breaker trips.
+
+        Subscribes to the Chimera's :class:`StageHealthMonitor`; ``clock``
+        (a :class:`~repro.utils.clock.SimClock`), when given, timestamps
+        the incident with simulation time.
+        """
+        def on_open(stage_name: str) -> None:
+            at = clock.now if clock is not None else 0.0
+            self.open_stage_incident(stage_name, at=at)
+
+        self.chimera.health.on_breaker_open.append(on_open)
+
+    def close_stage_incident(self, incident: Incident) -> None:
+        """Close a stage-failure incident once the stage is healthy again."""
+        if incident.kind != "stage-failure":
+            raise ValueError(f"not a stage-failure incident: {incident.kind!r}")
+        incident.status = "closed"
+        incident.notes.append("stage recovered")
+
     def scale_down(self, incident: Incident) -> None:
         """Disable the bad parts: suppress the affected types everywhere.
 
@@ -57,6 +105,11 @@ class IncidentManager:
         types at the Voting Master (a learning module cannot be partially
         retrained in minutes, so suppression is the fast control).
         """
+        if incident.kind != "quality":
+            raise ValueError(
+                "stage-failure incidents are contained by the circuit breaker; "
+                "there is nothing to scale down"
+            )
         if incident.status != "open":
             raise ValueError(f"cannot scale down incident in state {incident.status!r}")
         for type_name in incident.affected_types:

@@ -5,13 +5,33 @@ accuracy may suddenly degrade ... So we need a way to detect such quality
 problems quickly." The monitor tracks per-batch precision estimates and
 per-type error counts and raises degradation flags the IncidentManager
 acts on.
+
+Besides *quality* degradation, a deployed pipeline must survive *component*
+failure: a classifier stage whose predict() starts throwing (bad model
+artifact, poisoned dictionary, resource exhaustion) must be routed around,
+not allowed to take down classification of every item. That is the job of:
+
+* :class:`CircuitBreaker` — a deterministic, call-counted breaker
+  (CLOSED → OPEN after ``failure_threshold`` consecutive failures; OPEN
+  swallows ``cooldown`` calls, then HALF_OPEN lets one probe through;
+  probe success re-closes, probe failure re-opens). No wall-clock time is
+  involved, so tests replay transitions exactly;
+* :class:`StageHealthMonitor` — per-stage breakers plus success/failure/
+  routed-around counters and an event log, with ``on_breaker_open``
+  callbacks the :class:`~repro.chimera.incidents.IncidentManager`
+  subscribes to;
+* :class:`GuardedStage` — the wrapper the pipeline threads its stages
+  through: catches stage exceptions, feeds the monitor, and returns
+  no-votes while the breaker is open (the voting master simply sees an
+  abstaining stage, which is Chimera's standard degrade path).
 """
 
 from __future__ import annotations
 
+import enum
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -93,3 +113,193 @@ class PrecisionMonitor:
 
     def coverage_series(self) -> List[Tuple[str, float]]:
         return [(s.batch_id, s.coverage) for s in self.history]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"        # healthy: calls flow through
+    OPEN = "open"            # tripped: calls are routed around
+    HALF_OPEN = "half-open"  # probing: one call is let through
+
+
+class CircuitBreaker:
+    """A deterministic, call-counted circuit breaker.
+
+    Production breakers usually open for a wall-clock interval; here the
+    OPEN state instead swallows a fixed number of ``allow()`` calls
+    (``cooldown``) before letting a probe through, which makes every
+    transition reproducible in tests and under the simulation clock.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 8, name: str = ""):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.name = name
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+        self._cooldown_remaining = 0
+        self.transitions: List[Tuple[str, str]] = []
+
+    def _move(self, state: BreakerState) -> None:
+        self.transitions.append((self.state.value, state.value))
+        self.state = state
+
+    def allow(self) -> bool:
+        """May the next call go through? (OPEN swallows and counts down.)"""
+        if self.state is BreakerState.OPEN:
+            self._cooldown_remaining -= 1
+            if self._cooldown_remaining > 0:
+                return False
+            self._move(BreakerState.HALF_OPEN)
+            return True  # the probe call
+        return True
+
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._move(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._move(BreakerState.OPEN)
+            self._cooldown_remaining = self.cooldown
+            self.times_opened += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.name or 'anon'} {self.state.value} "
+            f"fails={self.consecutive_failures}/{self.failure_threshold}>"
+        )
+
+
+@dataclass(frozen=True)
+class StageFault:
+    """One recorded stage failure (the error is stringified for audit)."""
+
+    stage: str
+    error: str
+    call_index: int
+
+
+class StageHealthMonitor:
+    """Per-stage circuit breakers, counters, and an auditable event log.
+
+    ``on_breaker_open`` callbacks fire exactly once per OPEN transition
+    with the stage name — the incident manager uses this to open a
+    stage-failure incident automatically.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 8):
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.successes: Counter = Counter()
+        self.failures: Counter = Counter()
+        self.routed_around: Counter = Counter()
+        self.faults: List[StageFault] = []
+        self.events: List[Tuple[str, str]] = []  # (stage, event)
+        self.on_breaker_open: List[Callable[[str], None]] = []
+        self._calls = 0
+
+    def breaker(self, stage_name: str) -> CircuitBreaker:
+        if stage_name not in self._breakers:
+            self._breakers[stage_name] = CircuitBreaker(
+                self.failure_threshold, self.cooldown, name=stage_name
+            )
+        return self._breakers[stage_name]
+
+    def allow(self, stage_name: str) -> bool:
+        self._calls += 1
+        allowed = self.breaker(stage_name).allow()
+        if not allowed:
+            self.routed_around[stage_name] += 1
+        return allowed
+
+    def record_success(self, stage_name: str) -> None:
+        self.successes[stage_name] += 1
+        self.breaker(stage_name).record_success()
+
+    def record_failure(self, stage_name: str, error: Exception) -> None:
+        self.failures[stage_name] += 1
+        self.faults.append(StageFault(stage_name, repr(error), self._calls))
+        breaker = self.breaker(stage_name)
+        was_open = breaker.state is BreakerState.OPEN
+        breaker.record_failure()
+        if breaker.state is BreakerState.OPEN and not was_open:
+            self.events.append((stage_name, "breaker-open"))
+            for callback in self.on_breaker_open:
+                callback(stage_name)
+
+    def degraded_stages(self) -> List[str]:
+        """Stages currently routed around (breaker not CLOSED)."""
+        return sorted(
+            name
+            for name, breaker in self._breakers.items()
+            if breaker.state is not BreakerState.CLOSED
+        )
+
+    def report(self) -> Dict[str, Dict[str, object]]:
+        """Per-stage health summary for dashboards/tests."""
+        stages = set(self._breakers) | set(self.successes) | set(self.failures)
+        return {
+            name: {
+                "state": self.breaker(name).state.value,
+                "successes": self.successes[name],
+                "failures": self.failures[name],
+                "routed_around": self.routed_around[name],
+                "times_opened": self.breaker(name).times_opened,
+            }
+            for name in sorted(stages)
+        }
+
+
+class GuardedStage:
+    """Duck-typed :class:`~repro.chimera.classifiers.ClassifierStage` proxy.
+
+    Wraps a real stage so the pipeline keeps classifying when the stage
+    misbehaves: exceptions become no-votes (and feed the monitor), and an
+    open breaker skips the stage entirely until its cooldown elapses.
+    ``name``/``enabled`` delegate to the wrapped stage, so operator
+    actions on the underlying object (disabling, retraining) stay visible.
+    """
+
+    def __init__(self, stage, health: StageHealthMonitor):
+        self.stage = stage
+        self.health = health
+
+    @property
+    def name(self) -> str:
+        return self.stage.name
+
+    @property
+    def enabled(self) -> bool:
+        return self.stage.enabled
+
+    def _guarded(self, method: Callable, fallback):
+        if not self.health.allow(self.stage.name):
+            return fallback
+        try:
+            result = method()
+        except Exception as exc:
+            self.health.record_failure(self.stage.name, exc)
+            return fallback
+        self.health.record_success(self.stage.name)
+        return result
+
+    def predict(self, item) -> List:
+        return self._guarded(lambda: self.stage.predict(item), [])
+
+    def constraints(self, item) -> Optional[Set[str]]:
+        return self._guarded(lambda: self.stage.constraints(item), None)

@@ -14,6 +14,7 @@ from repro.chimera.classifiers import (
 )
 from repro.chimera.filter import FinalFilter
 from repro.chimera.gatekeeper import GateAction, GateKeeper
+from repro.chimera.monitoring import GuardedStage, StageHealthMonitor
 from repro.chimera.voting import VotingMaster
 from repro.core.prepared import ItemLike, prepare
 from repro.core.rule import Rule
@@ -122,6 +123,7 @@ class Chimera:
         learning_stage: LearningClassifierStage,
         voting: VotingMaster,
         final_filter: FinalFilter,
+        health: Optional[StageHealthMonitor] = None,
     ):
         self.gatekeeper = gatekeeper
         self.rule_stage = rule_stage
@@ -129,6 +131,15 @@ class Chimera:
         self.learning_stage = learning_stage
         self.voting = voting
         self.filter = final_filter
+        # Every stage call is routed through a circuit-breaker guard: a
+        # stage that throws repeatedly is routed around (no votes) until
+        # its breaker cools down, so one bad component degrades coverage
+        # instead of stopping classification (§2.2).
+        self.health = health if health is not None else StageHealthMonitor()
+        self._guarded_stages = [
+            GuardedStage(stage, self.health)
+            for stage in (self.rule_stage, self.attr_stage, self.learning_stage)
+        ]
         self.training_data: List[LabeledTitle] = []
         self._pending_training = 0
 
@@ -177,6 +188,15 @@ class Chimera:
             "attr-value": len(self.attr_stage.rules),
             "filter": len(self.filter.rules),
         }
+
+    # -- health -------------------------------------------------------------------
+
+    def degraded_stages(self) -> List[str]:
+        """Stages currently routed around by their circuit breaker."""
+        return self.health.degraded_stages()
+
+    def health_report(self) -> Dict[str, Dict[str, object]]:
+        return self.health.report()
 
     # -- training management -----------------------------------------------------
 
@@ -228,8 +248,7 @@ class Chimera:
             return None
         if decision.action is GateAction.CLASSIFY:
             return ItemResult(raw_item, decision.label, source="gate")
-        stages = [self.rule_stage, self.attr_stage, self.learning_stage]
-        final, ranked = self.voting.combine(prepared, stages)
+        final, ranked = self.voting.combine(prepared, self._guarded_stages)
         if final is None and not ranked:
             return ItemResult(raw_item, None, source="no-votes")
         chosen = self.filter.select(prepared, ranked, self.voting.confidence_threshold)

@@ -16,24 +16,56 @@ to execute the rules in parallel on a cluster of machines."
 All executors run over :class:`~repro.core.prepared.PreparedItem` views:
 each item is normalized/tokenized exactly once per run and every rule
 evaluation (and the index probe) shares those views.
+
+The partitioned executor is fault tolerant (§2.2's ongoing-system
+requirements): failed shards retry with exponential backoff onto other
+workers, stragglers are re-dispatched after a timeout, corrupt shard
+output is rejected by driver-side validation, and runs degrade — with an
+explicit skip report — instead of raising. See
+:mod:`repro.execution.resilience` and the deterministic fault-injection
+harness in :mod:`repro.testing.faults`.
 """
 
 from repro.core.prepared import PreparedItem, prepare, prepare_all
 from repro.execution.data_index import DataIndex
 from repro.execution.executor import ExecutionStats, IndexedExecutor, NaiveExecutor
-from repro.execution.parallel import PartitionedExecutor, ShardReport, critical_path
+from repro.execution.parallel import (
+    PartitionedExecutor,
+    PartitionedRunResult,
+    ShardReport,
+    critical_path,
+)
+from repro.execution.resilience import (
+    CorruptShardOutput,
+    DegradedRunError,
+    FaultEvent,
+    RetryPolicy,
+    ShardFailure,
+    WorkerCrash,
+    WorkerHang,
+    validate_shard_output,
+)
 from repro.execution.rule_index import RuleIndex
 
 __all__ = [
+    "CorruptShardOutput",
     "DataIndex",
+    "DegradedRunError",
     "ExecutionStats",
+    "FaultEvent",
     "IndexedExecutor",
     "NaiveExecutor",
     "PartitionedExecutor",
+    "PartitionedRunResult",
     "PreparedItem",
+    "RetryPolicy",
     "RuleIndex",
+    "ShardFailure",
     "ShardReport",
+    "WorkerCrash",
+    "WorkerHang",
     "critical_path",
     "prepare",
     "prepare_all",
+    "validate_shard_output",
 ]

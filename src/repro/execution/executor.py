@@ -14,12 +14,18 @@ Every executor prepares each item exactly once per run and evaluates rules
 through the ``matches_prepared`` fast path. Fired rule-id lists are sorted,
 so all executors return byte-identical, deterministic output. Disabled
 rules never fire (matching :class:`~repro.core.ruleset.RuleSet` semantics).
+
+Both executors support a degraded mode (``on_error="skip"``): an item whose
+preparation or rule evaluation raises — a malformed record, a buggy UDF
+clause — is dropped from the fired map and reported on the stats
+(``skipped_items`` / ``skipped_item_ids``) instead of killing the run.
+The default (``on_error="raise"``) preserves fail-fast semantics.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.types import ProductItem
@@ -28,9 +34,17 @@ from repro.core.rule import Rule
 from repro.execution.rule_index import RuleIndex
 
 
+_ON_ERROR_MODES = ("raise", "skip")
+
+
 @dataclass
 class ExecutionStats:
-    """Work and time accounting for one execution run."""
+    """Work and time accounting for one execution run.
+
+    ``retries`` and the ``skipped_*`` fields are the resilience ledger:
+    how many shard re-dispatches the run cost, and which items were
+    dropped under degraded mode (item-level skips or skipped shards).
+    """
 
     items: int = 0
     rule_evaluations: int = 0
@@ -38,6 +52,9 @@ class ExecutionStats:
     wall_time: float = 0.0
     prepare_time: float = 0.0
     match_time: float = 0.0
+    retries: int = 0
+    skipped_items: int = 0
+    skipped_item_ids: List[str] = field(default_factory=list)
 
     @property
     def evaluations_per_item(self) -> float:
@@ -54,13 +71,40 @@ class ExecutionStats:
         self.matches += other.matches
         self.prepare_time += other.prepare_time
         self.match_time += other.match_time
+        self.retries += other.retries
+        self.skipped_items += other.skipped_items
+        self.skipped_item_ids.extend(other.skipped_item_ids)
+
+
+def _checked_mode(on_error: str) -> str:
+    if on_error not in _ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}")
+    return on_error
+
+
+def _guarded_prepare(
+    items: Sequence[ItemLike], anchors: bool, skip: bool, stats: ExecutionStats
+) -> List[Optional[PreparedItem]]:
+    """Prepare every item; under degraded mode a bad record becomes None."""
+    prepared_items: List[Optional[PreparedItem]] = []
+    for item in items:
+        try:
+            prepared_items.append(prepare(item).warm(anchors=anchors))
+        except Exception:
+            if not skip:
+                raise
+            stats.skipped_items += 1
+            stats.skipped_item_ids.append(str(getattr(item, "item_id", "<unknown>")))
+            prepared_items.append(None)
+    return prepared_items
 
 
 class NaiveExecutor:
     """Checks every (enabled) rule against every item."""
 
-    def __init__(self, rules: Sequence[Rule]):
+    def __init__(self, rules: Sequence[Rule], on_error: str = "raise"):
         self.rules = list(rules)
+        self.on_error = _checked_mode(on_error)
 
     def run(
         self, items: Sequence[ItemLike]
@@ -69,16 +113,26 @@ class NaiveExecutor:
         stats = ExecutionStats()
         fired: Dict[str, List[str]] = {}
         active = [rule for rule in self.rules if rule.enabled]
+        skip = self.on_error == "skip"
         started = time.perf_counter()
-        prepared_items = [prepare(item).warm(anchors=False) for item in items]
+        prepared_items = _guarded_prepare(items, False, skip, stats)
         stats.prepare_time = time.perf_counter() - started
         for prepared in prepared_items:
             stats.items += 1
+            if prepared is None:  # dropped during prepare under degraded mode
+                continue
             hits: List[str] = []
-            for rule in active:
-                stats.rule_evaluations += 1
-                if rule.matches_prepared(prepared):
-                    hits.append(rule.rule_id)
+            try:
+                for rule in active:
+                    stats.rule_evaluations += 1
+                    if rule.matches_prepared(prepared):
+                        hits.append(rule.rule_id)
+            except Exception:
+                if not skip:
+                    raise
+                stats.skipped_items += 1
+                stats.skipped_item_ids.append(prepared.item_id)
+                continue
             if hits:
                 stats.matches += len(hits)
                 fired[prepared.item_id] = sorted(hits)
@@ -94,9 +148,15 @@ class IndexedExecutor:
     only the work differs.
     """
 
-    def __init__(self, rules: Sequence[Rule], token_frequency: Optional[Dict[str, int]] = None):
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        token_frequency: Optional[Dict[str, int]] = None,
+        on_error: str = "raise",
+    ):
         self.rules = list(rules)
         self.index = RuleIndex(self.rules, token_frequency=token_frequency)
+        self.on_error = _checked_mode(on_error)
 
     def run(
         self, items: Sequence[ItemLike]
@@ -105,18 +165,28 @@ class IndexedExecutor:
         stats = ExecutionStats()
         fired: Dict[str, List[str]] = {}
         candidates = self.index.candidates
+        skip = self.on_error == "skip"
         started = time.perf_counter()
-        prepared_items = [prepare(item).warm(anchors=True) for item in items]
+        prepared_items = _guarded_prepare(items, True, skip, stats)
         stats.prepare_time = time.perf_counter() - started
         for prepared in prepared_items:
             stats.items += 1
+            if prepared is None:  # dropped during prepare under degraded mode
+                continue
             hits: List[str] = []
-            for rule in candidates(prepared):
-                if not rule.enabled:
-                    continue
-                stats.rule_evaluations += 1
-                if rule.matches_prepared(prepared):
-                    hits.append(rule.rule_id)
+            try:
+                for rule in candidates(prepared):
+                    if not rule.enabled:
+                        continue
+                    stats.rule_evaluations += 1
+                    if rule.matches_prepared(prepared):
+                        hits.append(rule.rule_id)
+            except Exception:
+                if not skip:
+                    raise
+                stats.skipped_items += 1
+                stats.skipped_item_ids.append(prepared.item_id)
+                continue
             if hits:
                 stats.matches += len(hits)
                 fired[prepared.item_id] = sorted(hits)

@@ -1,4 +1,4 @@
-"""Partitioned ("cluster") rule execution.
+"""Partitioned ("cluster") rule execution with fault tolerance.
 
 Section 4 suggests executing rules "in parallel on a cluster of machines
 (e.g., using Hadoop)". The cluster is simulated: items are sharded across
@@ -12,30 +12,121 @@ The driver tokenizes each item exactly once into a
 payloads* to the shards, so workers never re-tokenize — the same
 "precompute the per-record views once" discipline the single-node
 executors follow.
+
+The driver also implements the §2.2 failure model ("the system must keep
+running and degrade gracefully"):
+
+* every shard attempt is assigned to a worker by rotation
+  (``worker = (shard + attempt) % n_workers``), so retrying a shard
+  *re-dispatches it to a different worker* — a dead worker costs retries,
+  not results;
+* failed attempts (crash, hang/timeout, corrupt output) back off
+  exponentially with seeded jitter (:class:`RetryPolicy`) through an
+  injectable sleep, then retry, up to ``max_attempts``;
+* shard output is validated before merging
+  (:func:`~repro.execution.resilience.validate_shard_output`), so a
+  corrupt worker cannot poison the merged fired map;
+* when a shard exhausts its attempts the run *degrades instead of
+  raising*: :class:`PartitionedRunResult` reports exactly which shards and
+  item ids were skipped, and callers that need all-or-nothing semantics
+  use :meth:`PartitionedRunResult.require_complete`.
+
+Fault injection for tests goes through the optional ``fault_plan``
+(see :mod:`repro.testing.faults`): the driver consults it at each
+(worker, shard, attempt) dispatch, which keeps injected crashes, hangs,
+and corruption fully deterministic — and free of real sleeps.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.types import ProductItem
 from repro.core.prepared import ItemLike, PreparedItem, prepare
 from repro.core.rule import Rule
 from repro.core.serialize import rules_from_dicts, rules_to_dicts
 from repro.execution.executor import ExecutionStats, IndexedExecutor
+from repro.execution.resilience import (
+    CorruptShardOutput,
+    DegradedRunError,
+    FaultEvent,
+    RetryPolicy,
+    ShardFailure,
+    WorkerCrash,
+    WorkerHang,
+    validate_shard_output,
+)
 
 
 @dataclass(frozen=True)
 class ShardReport:
-    """Per-shard outcome: which rules fired where, and the work done."""
+    """Per-shard outcome: which work was done, and what it took to get it.
+
+    ``retries`` counts failed attempts before success; ``status`` is
+    ``"ok"`` for merged shards and ``"skipped"`` for shards that exhausted
+    their retry budget (their items are absent from the fired map and
+    listed on the run result). ``worker_id`` is the worker that produced
+    the accepted output (-1 for skipped shards).
+    """
 
     shard_id: int
     items: int
     rule_evaluations: int
     matches: int
+    attempts: int = 1
+    retries: int = 0
+    status: str = "ok"
+    worker_id: int = -1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class PartitionedRunResult:
+    """A possibly-degraded partitioned run: results plus an honest account.
+
+    The degraded-mode contract: the fired map contains exactly the output
+    of every shard that succeeded, ``skipped_item_ids`` names every item
+    whose shard did not, and ``fault_events`` records each failure the
+    driver observed and how it responded. ``fired`` is never silently
+    partial — ``degraded`` says so.
+    """
+
+    fired: Dict[str, List[str]]
+    stats: ExecutionStats
+    reports: List[ShardReport]
+    skipped_shards: List[int] = field(default_factory=list)
+    skipped_item_ids: List[str] = field(default_factory=list)
+    fault_events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.skipped_shards)
+
+    @property
+    def complete(self) -> bool:
+        return not self.degraded
+
+    @property
+    def total_retries(self) -> int:
+        return sum(1 for event in self.fault_events if event.action == "retry")
+
+    def require_complete(self) -> "PartitionedRunResult":
+        """Raise :class:`DegradedRunError` unless every shard merged."""
+        if self.degraded:
+            raise DegradedRunError(
+                f"run degraded: shards {self.skipped_shards} skipped "
+                f"({len(self.skipped_item_ids)} items) after "
+                f"{len(self.fault_events)} fault(s)"
+            )
+        return self
 
 
 def _run_shard(
@@ -53,7 +144,20 @@ def _run_shard(
 
 
 class PartitionedExecutor:
-    """Shards items over N workers, each running an IndexedExecutor."""
+    """Shards items over N workers, each running an IndexedExecutor.
+
+    Resilience knobs (all optional; the defaults reproduce a healthy run):
+
+    * ``retry_policy`` — attempts/backoff for failed shards
+      (:class:`~repro.execution.resilience.RetryPolicy`);
+    * ``shard_timeout`` — seconds before a process-pool shard counts as a
+      straggler and is re-dispatched (ignored in-process);
+    * ``fault_plan`` — a :class:`~repro.testing.faults.FaultPlan` consulted
+      at every dispatch, for deterministic failure testing;
+    * ``sleep`` — the backoff sleep callable (tests inject a
+      :class:`~repro.testing.faults.VirtualSleeper`);
+    * ``retry_seed`` — seeds the backoff jitter RNG.
+    """
 
     def __init__(
         self,
@@ -61,61 +165,231 @@ class PartitionedExecutor:
         n_workers: int = 4,
         use_processes: bool = False,
         token_frequency: Optional[Dict[str, int]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        shard_timeout: Optional[float] = None,
+        fault_plan: Optional[Any] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        retry_seed: int = 0,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be positive, got {shard_timeout}")
         self.rule_payloads = rules_to_dicts(rules)
         self.n_workers = n_workers
         self.use_processes = use_processes
         self.token_frequency = token_frequency
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.shard_timeout = shard_timeout
+        self.fault_plan = fault_plan
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.retry_seed = retry_seed
+        self._known_rule_ids = frozenset(
+            payload["rule_id"] for payload in self.rule_payloads
+        )
 
-    def _shards(self, items: Sequence[ItemLike]) -> Tuple[List[List[Dict[str, Any]]], float]:
-        """Round-robin item shards as prepared payloads, plus prepare time."""
+    def _shards(
+        self, items: Sequence[ItemLike]
+    ) -> Tuple[List[List[Dict[str, Any]]], List[List[str]], float]:
+        """Round-robin shards as prepared payloads, their ids, prepare time."""
         started = time.perf_counter()
         shards: List[List[Dict[str, Any]]] = [[] for _ in range(self.n_workers)]
+        shard_ids: List[List[str]] = [[] for _ in range(self.n_workers)]
         for index, item in enumerate(items):
-            payload = prepare(item).to_payload()
-            shards[index % self.n_workers].append(payload)
-        return shards, time.perf_counter() - started
+            prepared = prepare(item)
+            shards[index % self.n_workers].append(prepared.to_payload())
+            shard_ids[index % self.n_workers].append(prepared.item_id)
+        return shards, shard_ids, time.perf_counter() - started
 
-    def run(
-        self, items: Sequence[ItemLike]
-    ) -> Tuple[Dict[str, List[str]], ExecutionStats, List[ShardReport]]:
-        started = time.perf_counter()
-        shards, driver_prepare_time = self._shards(items)
-        outputs: List[Tuple[int, Dict[str, List[str]], ExecutionStats]] = []
-        if self.use_processes:
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                futures = [
-                    pool.submit(
-                        _run_shard, shard_id, self.rule_payloads, shard, self.token_frequency
+    def _worker_for(self, shard_id: int, attempt: int) -> int:
+        """Rotate a retried shard onto the next worker (re-dispatch)."""
+        return (shard_id + attempt) % self.n_workers
+
+    def _fault_for(self, worker: int, shard_id: int, attempt: int):
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.fault_for(worker, shard_id, attempt)
+
+    def _dispatch_round(
+        self,
+        pending: Sequence[int],
+        attempt: int,
+        shards: List[List[Dict[str, Any]]],
+        pool: Optional[ProcessPoolExecutor],
+    ) -> Dict[int, Any]:
+        """Run every pending shard once; outcome is a tuple or a failure."""
+        outcomes: Dict[int, Any] = {}
+        submitted: List[Tuple[int, Any, Any, int]] = []
+        for shard_id in sorted(pending):
+            worker = self._worker_for(shard_id, attempt)
+            spec = self._fault_for(worker, shard_id, attempt)
+            if spec is not None and spec.blocks_execution:
+                self.fault_plan.record(spec, worker, shard_id, attempt)
+                outcomes[shard_id] = spec.to_exception(worker, shard_id, attempt)
+                continue
+            if pool is None:
+                try:
+                    output = _run_shard(
+                        shard_id, self.rule_payloads, shards[shard_id], self.token_frequency
                     )
-                    for shard_id, shard in enumerate(shards)
-                ]
-                outputs = [future.result() for future in futures]
-        else:
-            outputs = [
-                _run_shard(shard_id, self.rule_payloads, shard, self.token_frequency)
-                for shard_id, shard in enumerate(shards)
-            ]
+                except Exception as exc:  # a real worker fault, not injected
+                    outcomes[shard_id] = WorkerCrash(f"shard {shard_id} raised: {exc!r}")
+                    continue
+                if spec is not None:
+                    self.fault_plan.record(spec, worker, shard_id, attempt)
+                    output = spec.corrupt_output(output)
+                outcomes[shard_id] = output
+            else:
+                future = pool.submit(
+                    _run_shard, shard_id, self.rule_payloads, shards[shard_id],
+                    self.token_frequency,
+                )
+                submitted.append((shard_id, future, spec, worker))
+        for shard_id, future, spec, worker in submitted:
+            try:
+                output = future.result(timeout=self.shard_timeout)
+            except FutureTimeoutError:
+                future.cancel()
+                outcomes[shard_id] = WorkerHang(
+                    f"shard {shard_id} exceeded {self.shard_timeout}s"
+                )
+                continue
+            except Exception as exc:
+                outcomes[shard_id] = WorkerCrash(f"shard {shard_id} raised: {exc!r}")
+                continue
+            if spec is not None:
+                self.fault_plan.record(spec, worker, shard_id, attempt)
+                output = spec.corrupt_output(output)
+            outcomes[shard_id] = output
+        return outcomes
+
+    @staticmethod
+    def _failure_kind(failure: ShardFailure) -> str:
+        if isinstance(failure, WorkerHang):
+            return "hang"
+        if isinstance(failure, CorruptShardOutput):
+            return "corrupt"
+        return "crash"
+
+    def run_detailed(self, items: Sequence[ItemLike]) -> PartitionedRunResult:
+        """Execute with retry/re-dispatch; degrade (never raise) on faults."""
+        started = time.perf_counter()
+        shards, shard_item_ids, driver_prepare_time = self._shards(items)
+        policy = self.retry_policy
+        rng = random.Random(self.retry_seed)
+        events: List[FaultEvent] = []
+        accepted: Dict[int, Tuple[Dict[str, List[str]], ExecutionStats, int, int]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if self.use_processes:
+                pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            pending = list(range(self.n_workers))
+            attempt = 0
+            while pending and attempt < policy.max_attempts:
+                outcomes = self._dispatch_round(pending, attempt, shards, pool)
+                failed: List[int] = []
+                for shard_id in sorted(outcomes):
+                    outcome = outcomes[shard_id]
+                    worker = self._worker_for(shard_id, attempt)
+                    if not isinstance(outcome, ShardFailure):
+                        _, fired, stats = outcome
+                        try:
+                            fired = validate_shard_output(
+                                fired, stats, shard_item_ids[shard_id], self._known_rule_ids
+                            )
+                        except CorruptShardOutput as exc:
+                            outcome = exc
+                        else:
+                            accepted[shard_id] = (fired, stats, attempt, worker)
+                            continue
+                    retrying = attempt + 1 < policy.max_attempts
+                    backoff = (
+                        policy.backoff_delay(attempt, rng) if retrying else 0.0
+                    )
+                    events.append(
+                        FaultEvent(
+                            shard_id=shard_id,
+                            worker_id=worker,
+                            attempt=attempt,
+                            kind=self._failure_kind(outcome),
+                            action="retry" if retrying else "skip",
+                            error=str(outcome),
+                            backoff=backoff,
+                        )
+                    )
+                    failed.append(shard_id)
+                if failed and attempt + 1 < policy.max_attempts:
+                    delay = max(
+                        event.backoff for event in events[-len(failed):]
+                    )
+                    if delay > 0:
+                        self._sleep(delay)
+                pending = failed
+                attempt += 1
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
 
         merged: Dict[str, List[str]] = {}
         total = ExecutionStats()
         reports: List[ShardReport] = []
-        for shard_id, fired, shard_stats in sorted(outputs, key=lambda out: out[0]):
-            merged.update(fired)
-            total.merge(shard_stats)
-            reports.append(
-                ShardReport(
-                    shard_id,
-                    shard_stats.items,
-                    shard_stats.rule_evaluations,
-                    shard_stats.matches,
+        skipped_shards: List[int] = []
+        skipped_item_ids: List[str] = []
+        for shard_id in range(self.n_workers):
+            if shard_id in accepted:
+                fired, shard_stats, final_attempt, worker = accepted[shard_id]
+                merged.update(fired)
+                total.merge(shard_stats)
+                total.retries += final_attempt
+                reports.append(
+                    ShardReport(
+                        shard_id,
+                        shard_stats.items,
+                        shard_stats.rule_evaluations,
+                        shard_stats.matches,
+                        attempts=final_attempt + 1,
+                        retries=final_attempt,
+                        status="ok",
+                        worker_id=worker,
+                    )
                 )
-            )
+            else:
+                item_ids = shard_item_ids[shard_id]
+                skipped_shards.append(shard_id)
+                skipped_item_ids.extend(item_ids)
+                total.retries += max(0, policy.max_attempts - 1)
+                total.skipped_items += len(item_ids)
+                total.skipped_item_ids.extend(item_ids)
+                reports.append(
+                    ShardReport(
+                        shard_id,
+                        len(item_ids),
+                        0,
+                        0,
+                        attempts=policy.max_attempts,
+                        retries=policy.max_attempts - 1,
+                        status="skipped",
+                        worker_id=-1,
+                    )
+                )
         total.prepare_time += driver_prepare_time
         total.wall_time = time.perf_counter() - started
-        return merged, total, reports
+        return PartitionedRunResult(
+            fired=merged,
+            stats=total,
+            reports=reports,
+            skipped_shards=skipped_shards,
+            skipped_item_ids=skipped_item_ids,
+            fault_events=events,
+        )
+
+    def run(
+        self, items: Sequence[ItemLike]
+    ) -> Tuple[Dict[str, List[str]], ExecutionStats, List[ShardReport]]:
+        """Back-compatible entry point; see :meth:`run_detailed` for faults."""
+        result = self.run_detailed(items)
+        return result.fired, result.stats, result.reports
+
 
 def critical_path(reports: Sequence[ShardReport]) -> int:
     """Max per-shard rule evaluations: the simulated parallel makespan."""

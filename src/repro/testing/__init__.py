@@ -1,0 +1,25 @@
+"""Deterministic test harnesses for the resilience layer.
+
+This package is shipped with the library (not hidden inside ``tests/``)
+so downstream users can chaos-test their own deployments of the
+partitioned executor and the Chimera pipeline with the same tooling the
+repo's own suite uses.
+"""
+
+from repro.testing.faults import (
+    ANY,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    TriggeredFault,
+    VirtualSleeper,
+)
+
+__all__ = [
+    "ANY",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "TriggeredFault",
+    "VirtualSleeper",
+]

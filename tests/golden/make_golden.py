@@ -1,0 +1,98 @@
+"""Regenerate the golden regression corpus.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/make_golden.py
+
+Writes ``catalog.json`` (a frozen seeded item batch), ``ruleset.json``
+(the serialized golden rules), and ``fired.json`` (the reference fired
+map produced by the naive executor) next to this script. All three are
+committed; tests never call this script — it exists so the snapshot can
+be regenerated *deliberately* when the corpus itself is meant to change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.core import (
+    AttributeRule,
+    SequenceRule,
+    ValueConstraintRule,
+    WhitelistRule,
+)
+from repro.core.serialize import rules_to_dicts
+from repro.execution import NaiveExecutor
+
+HERE = pathlib.Path(__file__).parent
+SEED = 20260806
+N_ITEMS = 120
+
+_METADATA = {"author": "golden", "created_at": 0.0, "provenance": "golden"}
+
+
+def build_golden_rules(taxonomy):
+    """A small analyst-style rule base covering every serializable kind."""
+    rules = []
+    types = sorted(taxonomy, key=lambda t: t.name)
+    for index, product_type in enumerate(types):
+        pattern = "|".join(re.escape(head) + "s?" for head in product_type.heads)
+        rules.append(WhitelistRule(
+            pattern, product_type.name,
+            rule_id=f"golden-wl-{index:03d}", **_METADATA,
+        ))
+    # Sequence rules for a few multi-token heads (ordered-token matching).
+    seq_types = [t for t in types if len(t.heads[0].split()) > 1][:4]
+    for index, product_type in enumerate(seq_types):
+        rules.append(SequenceRule(
+            tuple(product_type.heads[0].split()), product_type.name,
+            support=0.9, rule_id=f"golden-seq-{index:03d}", **_METADATA,
+        ))
+    # Attribute-presence rules for a few attribute-bearing types.
+    attr_types = [t for t in types if t.attribute_kinds][:3]
+    for index, product_type in enumerate(attr_types):
+        attribute = sorted(product_type.attribute_kinds)[0]
+        rules.append(AttributeRule(
+            attribute, product_type.name,
+            rule_id=f"golden-attr-{index:03d}", **_METADATA,
+        ))
+    rules.append(ValueConstraintRule(
+        "brand_name", "lg", ("televisions", "tv mounts"),
+        rule_id="golden-val-000", **_METADATA,
+    ))
+    return rules
+
+
+def item_to_dict(item):
+    return {
+        "item_id": item.item_id,
+        "title": item.title,
+        "attributes": dict(item.attributes),
+        "true_type": item.true_type,
+        "vendor": item.vendor,
+        "description": item.description,
+    }
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def main() -> None:
+    taxonomy = build_seed_taxonomy()
+    items = CatalogGenerator(taxonomy, seed=SEED).generate_items(N_ITEMS)
+    rules = build_golden_rules(taxonomy)
+    fired, _ = NaiveExecutor(rules).run(items)
+
+    (HERE / "catalog.json").write_text(canonical([item_to_dict(i) for i in items]))
+    (HERE / "ruleset.json").write_text(canonical(rules_to_dicts(rules)))
+    (HERE / "fired.json").write_text(canonical(fired))
+    print(f"wrote {len(items)} items, {len(rules)} rules, "
+          f"{len(fired)} fired entries to {HERE}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,467 @@
+"""Deterministic fault-injection tests for the resilient partitioned executor.
+
+Every failure path — crash, hang/straggler, corrupt output, full-cluster
+death — is driven by a scheduled :class:`FaultPlan`; no test sleeps, kills
+processes, or touches the wall clock. Backoff is observed through a
+:class:`VirtualSleeper` and jitter through a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.types import ProductItem
+from repro.core import AttributeRule, SequenceRule, parse_rules
+from repro.execution import (
+    CorruptShardOutput,
+    DegradedRunError,
+    ExecutionStats,
+    IndexedExecutor,
+    NaiveExecutor,
+    PartitionedExecutor,
+    RetryPolicy,
+    WorkerCrash,
+    WorkerHang,
+    validate_shard_output,
+)
+from repro.testing import ANY, FaultKind, FaultPlan, FaultSpec, VirtualSleeper
+
+
+def item(title, item_id=None, **attributes):
+    return ProductItem(item_id=item_id or title[:40], title=title, attributes=attributes)
+
+
+RULES = parse_rules("""
+    rings? -> rings
+    (motor|engine) oils? -> motor oil
+    denim.*jeans? -> jeans
+""") + [
+    SequenceRule(("area", "rug"), "area rugs"),
+    AttributeRule("isbn", "books"),
+]
+
+ITEMS = [
+    item("diamond ring gold"),
+    item("castrol motor oil 5 quart"),
+    item("relaxed denim jeans"),
+    item("shaw area rug 5x7"),
+    item("mystery novel", isbn="978"),
+    item("unrelated gadget"),
+    item("two gold rings boxed"),
+    item("engine oil filter"),
+]
+
+BASELINE, _ = NaiveExecutor(RULES).run(ITEMS)
+
+
+def executor(n_workers=3, plan=None, max_attempts=3, sleeper=None, **kwargs):
+    return PartitionedExecutor(
+        RULES,
+        n_workers=n_workers,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(
+            max_attempts=max_attempts, base_delay=0.01, multiplier=2.0,
+            max_delay=1.0, jitter=0.5,
+        ),
+        sleep=sleeper if sleeper is not None else VirtualSleeper(),
+        **kwargs,
+    )
+
+
+class TestFaultPlan:
+    def test_wildcards_match_everything(self):
+        spec = FaultSpec(FaultKind.CRASH)
+        assert spec.applies_to(0, 0, 0) and spec.applies_to(7, 3, 2)
+
+    def test_pinned_coordinates(self):
+        spec = FaultSpec(FaultKind.HANG, worker=1, shard=2, attempt=0)
+        assert spec.applies_to(1, 2, 0)
+        assert not spec.applies_to(1, 2, 1)
+        assert not spec.applies_to(0, 2, 0)
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan().crash(worker=1).hang(worker=1)
+        assert plan.fault_for(1, 0, 0).kind is FaultKind.CRASH
+
+    def test_builders_chain(self):
+        plan = FaultPlan().kill_worker(0).hang_worker(1).corrupt(worker=2)
+        assert [s.kind for s in plan.specs] == [
+            FaultKind.CRASH, FaultKind.HANG, FaultKind.CORRUPT,
+        ]
+        assert len(plan) == 3
+
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random_plan(seed=99, n_workers=6, rate=0.8)
+        b = FaultPlan.random_plan(seed=99, n_workers=6, rate=0.8)
+        assert a.specs == b.specs
+        c = FaultPlan.random_plan(seed=100, n_workers=6, rate=0.8)
+        assert a.specs != c.specs  # different seed, different schedule
+
+    def test_random_plan_spares_workers(self):
+        plan = FaultPlan.random_plan(seed=5, n_workers=4, rate=1.0, spare_workers=2)
+        assert plan.specs  # rate=1.0 faults every non-spared slot
+        assert all(spec.worker >= 2 for spec in plan.specs)
+
+    def test_random_plan_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_plan(seed=0, n_workers=2, rate=1.5)
+
+    def test_describe_lists_specs(self):
+        plan = FaultPlan().crash(worker=1).corrupt(detail="garbage")
+        text = plan.describe()
+        assert "crash" in text and "garbage" in text
+        assert FaultPlan().describe() == "fault plan: (healthy)"
+
+    def test_blocking_spec_to_exception(self):
+        crash = FaultSpec(FaultKind.CRASH).to_exception(0, 1, 2)
+        hang = FaultSpec(FaultKind.HANG).to_exception(0, 1, 2)
+        assert isinstance(crash, WorkerCrash) and isinstance(hang, WorkerHang)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CORRUPT).to_exception(0, 0, 0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0, max_delay=10.0)
+        rng = random.Random(0)
+        assert [policy.backoff_delay(a, rng) for a in range(4)] == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4), pytest.approx(0.8),
+        ]
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, jitter=0.0, max_delay=2.5)
+        assert policy.backoff_delay(5, random.Random(0)) == pytest.approx(2.5)
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0, jitter=0.5)
+        a = policy.backoff_delay(0, random.Random(42))
+        b = policy.backoff_delay(0, random.Random(42))
+        assert a == b  # same seed, same jitter
+        assert 0.1 <= a <= 0.15
+
+    def test_rejects_bad_parameters(self):
+        for kwargs in (
+            {"max_attempts": 0}, {"base_delay": -1}, {"multiplier": 0.5}, {"jitter": -0.1},
+        ):
+            with pytest.raises(ValueError):
+                RetryPolicy(**kwargs)
+
+    def test_immediate_policy_never_sleeps(self):
+        policy = RetryPolicy.immediate(max_attempts=5)
+        assert policy.backoff_delay(3, random.Random(0)) == 0.0
+
+
+class TestShardOutputValidation:
+    def _stats(self, items):
+        stats = ExecutionStats()
+        stats.items = items
+        return stats
+
+    def test_accepts_valid_output(self):
+        fired = {"a": ["r1"], "b": ["r1", "r2"]}
+        out = validate_shard_output(fired, self._stats(2), ["a", "b"], frozenset({"r1", "r2"}))
+        assert out == fired
+
+    @pytest.mark.parametrize(
+        "fired, items",
+        [
+            ("garbage", ["a"]),                          # not a dict
+            ({"ghost": ["r1"]}, ["a"]),                  # unknown item
+            ({"a": []}, ["a"]),                          # empty hit list
+            ({"a": ["bogus"]}, ["a"]),                   # unknown rule
+            ({"a": ["r2", "r1"]}, ["a"]),                # unsorted
+            ({"a": "r1"}, ["a"]),                        # not a list
+        ],
+    )
+    def test_rejects_corrupt_fired_maps(self, fired, items):
+        with pytest.raises(CorruptShardOutput):
+            validate_shard_output(fired, self._stats(len(items)), items, frozenset({"r1", "r2"}))
+
+    def test_rejects_mangled_stats(self):
+        with pytest.raises(CorruptShardOutput):
+            validate_shard_output({"a": ["r1"]}, "nope", ["a"], frozenset({"r1"}))
+        with pytest.raises(CorruptShardOutput):
+            validate_shard_output({"a": ["r1"]}, self._stats(7), ["a"], frozenset({"r1"}))
+
+    def test_duplicate_item_ids_are_legitimate(self):
+        # A vendor batch may repeat an item id; the shard still counts rows.
+        out = validate_shard_output(
+            {"a": ["r1"]}, self._stats(3), ["a", "a", "a"], frozenset({"r1"})
+        )
+        assert out == {"a": ["r1"]}
+
+
+class TestSingleWorkerDeath:
+    """Acceptance: killing any single worker still yields the complete map."""
+
+    @pytest.mark.parametrize("worker", [0, 1, 2])
+    @pytest.mark.parametrize("kind", ["kill", "hang"])
+    def test_complete_despite_dead_worker(self, worker, kind):
+        plan = FaultPlan()
+        (plan.kill_worker if kind == "kill" else plan.hang_worker)(worker)
+        result = executor(n_workers=3, plan=plan, max_attempts=3).run_detailed(ITEMS)
+        assert result.complete
+        assert result.fired == BASELINE
+        # The dead worker's shard was re-dispatched elsewhere.
+        report = result.reports[worker]
+        assert report.ok and report.retries >= 1 and report.worker_id != worker
+
+    def test_crash_then_recover_on_retry(self):
+        plan = FaultPlan().crash(worker=1, attempt=0)  # transient: first attempt only
+        result = executor(n_workers=3, plan=plan).run_detailed(ITEMS)
+        assert result.complete and result.fired == BASELINE
+        assert result.total_retries == 1
+        assert [e.kind for e in result.fault_events] == ["crash"]
+
+    def test_corrupt_worker_is_caught_and_retried(self):
+        for detail in ("alien-item", "alien-rule", "unsorted", "garbage", "bad-stats"):
+            plan = FaultPlan().corrupt(worker=2, attempt=0, detail=detail)
+            result = executor(n_workers=3, plan=plan).run_detailed(ITEMS)
+            assert result.complete, detail
+            assert result.fired == BASELINE, detail
+            assert any(e.kind == "corrupt" for e in result.fault_events), detail
+
+    def test_triggered_faults_are_logged_on_the_plan(self):
+        plan = FaultPlan().kill_worker(1)
+        executor(n_workers=3, plan=plan).run_detailed(ITEMS)
+        assert plan.triggered
+        assert all(t.worker == 1 for t in plan.triggered)
+
+
+class TestBackoff:
+    def test_sleeps_are_virtual_and_grow(self):
+        sleeper = VirtualSleeper()
+        plan = FaultPlan().crash(shard=0, attempt=0).crash(shard=0, attempt=1)
+        result = executor(
+            n_workers=3, plan=plan, max_attempts=4, sleeper=sleeper
+        ).run_detailed(ITEMS)
+        assert result.complete
+        assert len(sleeper.naps) == 2  # one backoff per failed round
+        assert sleeper.naps[1] > sleeper.naps[0]  # exponential growth
+        assert all(nap < 0.05 for nap in sleeper.naps)  # never a real-scale delay
+
+    def test_jitter_is_seeded(self):
+        def run(seed):
+            sleeper = VirtualSleeper()
+            plan = FaultPlan().crash(shard=1, attempt=0)
+            executor(
+                n_workers=3, plan=plan, sleeper=sleeper, retry_seed=seed
+            ).run_detailed(ITEMS)
+            return sleeper.naps
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_no_sleep_when_no_faults(self):
+        sleeper = VirtualSleeper()
+        result = executor(n_workers=3, sleeper=sleeper).run_detailed(ITEMS)
+        assert result.complete and sleeper.naps == []
+
+    def test_no_sleep_after_final_attempt(self):
+        sleeper = VirtualSleeper()
+        plan = FaultPlan().crash()  # everything always crashes
+        executor(n_workers=2, plan=plan, max_attempts=2, sleeper=sleeper).run_detailed(ITEMS)
+        assert len(sleeper.naps) == 1  # only between attempts 0 and 1
+
+
+class TestDegradedMode:
+    def test_total_failure_degrades_instead_of_raising(self):
+        plan = FaultPlan().crash()
+        result = executor(n_workers=3, plan=plan, max_attempts=2).run_detailed(ITEMS)
+        assert result.degraded and not result.complete
+        assert result.fired == {}
+        assert sorted(result.skipped_item_ids) == sorted(i.item_id for i in ITEMS)
+        assert result.skipped_shards == [0, 1, 2]
+        assert all(r.status == "skipped" and not r.ok for r in result.reports)
+        assert result.stats.skipped_items == len(ITEMS)
+
+    def test_require_complete_raises_on_degraded(self):
+        plan = FaultPlan().crash()
+        result = executor(n_workers=2, plan=plan, max_attempts=2).run_detailed(ITEMS)
+        with pytest.raises(DegradedRunError, match="degraded"):
+            result.require_complete()
+
+    def test_require_complete_passthrough_when_healthy(self):
+        result = executor(n_workers=2).run_detailed(ITEMS)
+        assert result.require_complete() is result
+
+    def test_one_shard_lost_keeps_the_rest(self):
+        # Shard 1 fails on every worker it rotates to; others stay healthy.
+        plan = FaultPlan().crash(shard=1)
+        result = executor(n_workers=3, plan=plan, max_attempts=3).run_detailed(ITEMS)
+        assert result.degraded
+        assert result.skipped_shards == [1]
+        shard_1_ids = {i.item_id for k, i in enumerate(ITEMS) if k % 3 == 1}
+        assert set(result.skipped_item_ids) == shard_1_ids
+        expected = {k: v for k, v in BASELINE.items() if k not in shard_1_ids}
+        assert result.fired == expected
+        skip_events = [e for e in result.fault_events if e.action == "skip"]
+        assert len(skip_events) == 1 and skip_events[0].shard_id == 1
+
+    def test_run_keeps_three_tuple_and_reports(self):
+        plan = FaultPlan().kill_worker(0)
+        fired, stats, reports = executor(n_workers=3, plan=plan).run(ITEMS)
+        assert fired == BASELINE
+        assert stats.retries >= 1
+        assert [r.shard_id for r in reports] == [0, 1, 2]
+
+    def test_real_worker_exception_is_contained(self):
+        ex = executor(n_workers=2, max_attempts=2)
+        ex.rule_payloads.append({"kind": "mystery", "target_type": "t"})
+        result = ex.run_detailed(ITEMS)  # every shard rebuild raises
+        assert result.degraded and result.fired == {}
+        assert all(e.kind == "crash" for e in result.fault_events)
+
+
+class TestShardReportMerge:
+    """Satellite: per-shard reports surface retry/skip accounting."""
+
+    def test_healthy_reports(self):
+        result = executor(n_workers=3).run_detailed(ITEMS)
+        assert [r.shard_id for r in result.reports] == [0, 1, 2]
+        assert all(r.status == "ok" and r.attempts == 1 and r.retries == 0
+                   for r in result.reports)
+        assert sum(r.items for r in result.reports) == len(ITEMS)
+        assert sum(r.matches for r in result.reports) == result.stats.matches
+        assert sum(r.rule_evaluations for r in result.reports) == (
+            result.stats.rule_evaluations
+        )
+
+    def test_retry_counts_in_reports_and_stats(self):
+        plan = FaultPlan().crash(shard=2, attempt=0).crash(shard=2, attempt=1)
+        result = executor(n_workers=3, plan=plan, max_attempts=4).run_detailed(ITEMS)
+        report = result.reports[2]
+        assert report.retries == 2 and report.attempts == 3 and report.ok
+        assert result.stats.retries == 2
+
+    def test_worker_rotation_is_recorded(self):
+        plan = FaultPlan().crash(shard=0, attempt=0)
+        result = executor(n_workers=3, plan=plan).run_detailed(ITEMS)
+        # shard 0, attempt 1 lands on worker (0 + 1) % 3 == 1
+        assert result.reports[0].worker_id == 1
+
+    def test_merged_stats_exclude_skipped_shards(self):
+        plan = FaultPlan().crash(shard=0)
+        result = executor(n_workers=2, plan=plan, max_attempts=2).run_detailed(ITEMS)
+        ok_items = sum(r.items for r in result.reports if r.ok)
+        assert result.stats.items == ok_items
+        assert result.stats.skipped_item_ids == result.skipped_item_ids
+
+
+# -- hypothesis: the degraded-mode contract over arbitrary fault plans ---------
+
+fault_kinds = st.sampled_from(list(FaultKind))
+coords = st.one_of(st.none(), st.integers(min_value=0, max_value=3))
+specs = st.builds(
+    FaultSpec,
+    kind=fault_kinds,
+    worker=coords,
+    shard=coords,
+    attempt=coords,
+)
+
+
+class TestFaultProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_any_plan_with_a_spared_worker_completes(self, seed):
+        """≥1 healthy worker + enough retries ⇒ byte-identical fired map."""
+        plan = FaultPlan.random_plan(seed=seed, n_workers=4, rate=0.9,
+                                     max_faulted_attempts=4, spare_workers=1)
+        result = PartitionedExecutor(
+            RULES, n_workers=4, fault_plan=plan,
+            retry_policy=RetryPolicy.immediate(max_attempts=4),
+            sleep=VirtualSleeper(),
+        ).run_detailed(ITEMS)
+        assert result.complete, plan.describe()
+        assert result.fired == BASELINE
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan_specs=st.lists(specs, max_size=6))
+    def test_fired_map_is_baseline_minus_reported_skips(self, plan_specs):
+        """Whatever the faults, fired == no-fault map minus explicit skips."""
+        plan = FaultPlan(plan_specs)
+        result = PartitionedExecutor(
+            RULES, n_workers=4, fault_plan=plan,
+            retry_policy=RetryPolicy.immediate(max_attempts=3),
+            sleep=VirtualSleeper(),
+        ).run_detailed(ITEMS)
+        skipped = set(result.skipped_item_ids)
+        expected = {k: v for k, v in BASELINE.items() if k not in skipped}
+        assert result.fired == expected
+        # Every input item is accounted for: merged or explicitly skipped.
+        merged_shards = {r.shard_id for r in result.reports if r.ok}
+        for index, thing in enumerate(ITEMS):
+            if index % 4 in merged_shards:
+                assert thing.item_id not in skipped
+            else:
+                assert thing.item_id in skipped
+        assert result.degraded == bool(result.skipped_shards)
+
+
+class TestChaosSeed:
+    """CI chaos-job entry point: a randomized-but-logged fault plan seed.
+
+    The workflow exports REPRO_CHAOS_SEED (and prints it in the job log),
+    so any failure is replayable locally with the same seed.
+    """
+
+    def test_chaos_plan_from_environment_seed(self):
+        seed = int(os.environ.get("REPRO_CHAOS_SEED", "0xC0FFEE"), 0)
+        plan = FaultPlan.random_plan(seed=seed, n_workers=4, rate=0.5,
+                                     max_faulted_attempts=3, spare_workers=1)
+        print(f"chaos fault-plan seed={seed}: {plan.describe()}")
+        result = PartitionedExecutor(
+            RULES, n_workers=4, fault_plan=plan,
+            retry_policy=RetryPolicy.immediate(max_attempts=4),
+            sleep=VirtualSleeper(),
+        ).run_detailed(ITEMS)
+        assert result.complete, f"seed={seed}\n{plan.describe()}"
+        assert result.fired == BASELINE
+
+
+class TestSingleNodeDegradedMode:
+    """Item-level on_error="skip" on the single-node executors."""
+
+    def _poisoned_items(self):
+        return ITEMS[:3] + [ProductItem(item_id="bad", title=None)] + ITEMS[3:]
+
+    @pytest.mark.parametrize("executor_cls", [NaiveExecutor, IndexedExecutor])
+    def test_bad_record_is_skipped_not_fatal(self, executor_cls):
+        fired, stats = executor_cls(RULES, on_error="skip").run(self._poisoned_items())
+        assert fired == BASELINE
+        assert stats.skipped_items == 1
+        assert stats.skipped_item_ids == ["bad"]
+        assert stats.items == len(ITEMS) + 1  # every row is accounted for
+
+    def test_bad_record_raises_by_default(self):
+        with pytest.raises(AttributeError):
+            NaiveExecutor(RULES).run(self._poisoned_items())
+
+    def test_failing_rule_skips_item_under_degraded_mode(self):
+        from repro.core.rule import Clause, PredicateRule
+
+        bomb = PredicateRule(
+            [Clause("explodes", lambda item: 1 / 0)], "t", rule_id="pred-bomb"
+        )
+        fired, stats = NaiveExecutor(RULES + [bomb], on_error="skip").run(ITEMS)
+        assert fired == {}  # the bomb fires on every item, so all are skipped
+        assert stats.skipped_items == len(ITEMS)
+        with pytest.raises(ZeroDivisionError):
+            NaiveExecutor(RULES + [bomb]).run(ITEMS)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveExecutor(RULES, on_error="ignore")
+
+    def test_stats_merge_carries_resilience_ledger(self):
+        a, b = ExecutionStats(), ExecutionStats()
+        a.retries, a.skipped_items, a.skipped_item_ids = 2, 1, ["x"]
+        b.retries, b.skipped_items, b.skipped_item_ids = 1, 2, ["y", "z"]
+        a.merge(b)
+        assert (a.retries, a.skipped_items, a.skipped_item_ids) == (3, 3, ["x", "y", "z"])

@@ -1,0 +1,108 @@
+"""Golden regression corpus: frozen catalog + ruleset + fired map.
+
+The three snapshots in ``tests/golden/`` are committed artifacts
+(regenerated only deliberately, via ``tests/golden/make_golden.py``).
+Every executor must reproduce the stored fired map **byte-for-byte** —
+any diff here means matching semantics drifted, which in an industrial
+rule system is a production incident, not a refactor detail.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.catalog.types import ProductItem
+from repro.core.serialize import rules_from_dicts, rules_to_dicts
+from repro.execution import (
+    IndexedExecutor,
+    NaiveExecutor,
+    PartitionedExecutor,
+    RetryPolicy,
+)
+from repro.testing import FaultPlan, VirtualSleeper
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+@pytest.fixture(scope="module")
+def golden_items():
+    records = json.loads((GOLDEN / "catalog.json").read_text())
+    return [
+        ProductItem(
+            item_id=r["item_id"],
+            title=r["title"],
+            attributes=r["attributes"],
+            true_type=r["true_type"],
+            vendor=r["vendor"],
+            description=r["description"],
+        )
+        for r in records
+    ]
+
+
+@pytest.fixture(scope="module")
+def golden_rules():
+    return rules_from_dicts(json.loads((GOLDEN / "ruleset.json").read_text()))
+
+
+@pytest.fixture(scope="module")
+def golden_fired_text():
+    return (GOLDEN / "fired.json").read_text()
+
+
+class TestGoldenSnapshotIntegrity:
+    def test_catalog_is_canonically_formatted(self):
+        text = (GOLDEN / "catalog.json").read_text()
+        assert text == canonical(json.loads(text))
+
+    def test_ruleset_round_trips_to_identical_bytes(self, golden_rules):
+        stored = (GOLDEN / "ruleset.json").read_text()
+        assert canonical(rules_to_dicts(golden_rules)) == stored
+
+    def test_corpus_shape(self, golden_items, golden_rules, golden_fired_text):
+        assert len(golden_items) == 120
+        assert len(golden_rules) == 61
+        kinds = {type(rule).__name__ for rule in golden_rules}
+        assert kinds == {
+            "WhitelistRule", "SequenceRule", "AttributeRule", "ValueConstraintRule",
+        }
+        fired = json.loads(golden_fired_text)
+        item_ids = {item.item_id for item in golden_items}
+        assert set(fired) <= item_ids
+        assert len(fired) >= 100  # the corpus is not trivially empty
+
+
+class TestExecutorsReproduceGoldenFiredMap:
+    def test_naive(self, golden_items, golden_rules, golden_fired_text):
+        fired, _ = NaiveExecutor(golden_rules).run(golden_items)
+        assert canonical(fired) == golden_fired_text
+
+    def test_indexed(self, golden_items, golden_rules, golden_fired_text):
+        fired, _ = IndexedExecutor(golden_rules).run(golden_items)
+        assert canonical(fired) == golden_fired_text
+
+    @pytest.mark.parametrize("n_workers", [1, 3, 5])
+    def test_partitioned(self, golden_items, golden_rules, golden_fired_text,
+                         n_workers):
+        fired, _, _ = PartitionedExecutor(
+            golden_rules, n_workers=n_workers
+        ).run(golden_items)
+        assert canonical(fired) == golden_fired_text
+
+    def test_partitioned_with_a_dead_worker(self, golden_items, golden_rules,
+                                            golden_fired_text):
+        """Fault tolerance must not change a single fired byte."""
+        result = PartitionedExecutor(
+            golden_rules,
+            n_workers=4,
+            fault_plan=FaultPlan().kill_worker(2),
+            retry_policy=RetryPolicy.immediate(max_attempts=3),
+            sleep=VirtualSleeper(),
+        ).run_detailed(golden_items)
+        assert result.complete
+        assert canonical(result.fired) == golden_fired_text
