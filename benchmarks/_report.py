@@ -13,6 +13,28 @@ from typing import Iterable, List
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def stats_lines(label: str, stats) -> List[str]:
+    """Render an ExecutionStats as report rows, incremental ledger included.
+
+    Shows the work counters plus the cache/delta accounting
+    (``cache_hits``/``cache_misses``, ``invalidations``,
+    ``delta_rules``/``delta_items``) so benchmark output exposes how much
+    of a run was served from memoized state versus re-evaluated.
+    """
+    rows = [
+        f"{label} items={stats.items} evals={stats.rule_evaluations} "
+        f"matches={stats.matches} wall={stats.wall_time:.4f}s",
+    ]
+    if stats.cache_hits or stats.cache_misses or stats.invalidations \
+            or stats.delta_rules or stats.delta_items:
+        rows.append(
+            f"{label} cache_hits={stats.cache_hits} cache_misses={stats.cache_misses} "
+            f"hit_rate={stats.cache_hit_rate:.2f} invalidations={stats.invalidations} "
+            f"delta_rules={stats.delta_rules} delta_items={stats.delta_items}"
+        )
+    return rows
+
+
 def emit(experiment: str, lines: Iterable[str]) -> List[str]:
     """Print the experiment's rows and persist them; returns the lines."""
     rendered = list(lines)

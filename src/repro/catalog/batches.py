@@ -91,10 +91,27 @@ class BatchStream:
         ]
         self.mean_gap_hours = mean_gap_hours
         self._next_batch = 0
+        self._listeners: List[Callable[[Batch], None]] = []
 
     def add_vendor(self, vendor: VendorProfile) -> None:
         """Onboard a new vendor mid-stream (the scale-up scenario)."""
         self.vendors.append(vendor)
+
+    def subscribe(self, listener: Callable[[Batch], None]) -> Callable[[], None]:
+        """Push every produced batch to ``listener``; returns unsubscribe.
+
+        This is how arrivals drive *delta* execution instead of full
+        re-runs: an :class:`~repro.execution.incremental.IncrementalExecutor`
+        subscribed here (via ``follow_batches``) folds each shipment into
+        its materialized fired map at O(batch) cost.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
 
     def next_batch(self, vendor: Optional[VendorProfile] = None) -> Batch:
         """Advance the clock and produce the next batch."""
@@ -114,12 +131,15 @@ class BatchStream:
                     item = self.generator.generate_item(vendor=profile.name)
             items.append(profile.apply_rewrites(item))
         self._next_batch += 1
-        return Batch(
+        batch = Batch(
             batch_id=f"batch-{self._next_batch:05d}",
             vendor=profile.name,
             arrived_at=self.clock.now,
             items=tuple(items),
         )
+        for listener in list(self._listeners):
+            listener(batch)
+        return batch
 
     def take(self, count: int) -> Iterator[Batch]:
         """Yield the next ``count`` batches."""

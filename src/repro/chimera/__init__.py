@@ -21,6 +21,8 @@ from repro.chimera.monitoring import (
     BatchStats,
     BreakerState,
     CircuitBreaker,
+    DeltaExecutionMonitor,
+    DeltaOpRecord,
     GuardedStage,
     PrecisionMonitor,
     StageFault,
@@ -38,6 +40,8 @@ __all__ = [
     "Chimera",
     "CircuitBreaker",
     "ClassifierStage",
+    "DeltaExecutionMonitor",
+    "DeltaOpRecord",
     "FeedbackLoop",
     "FinalFilter",
     "GateAction",

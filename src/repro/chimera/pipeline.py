@@ -14,11 +14,16 @@ from repro.chimera.classifiers import (
 )
 from repro.chimera.filter import FinalFilter
 from repro.chimera.gatekeeper import GateAction, GateKeeper
-from repro.chimera.monitoring import GuardedStage, StageHealthMonitor
+from repro.chimera.monitoring import (
+    DeltaExecutionMonitor,
+    GuardedStage,
+    StageHealthMonitor,
+)
 from repro.chimera.voting import VotingMaster
 from repro.core.prepared import ItemLike, prepare
 from repro.core.rule import Rule
 from repro.core.ruleset import RuleSet
+from repro.execution.incremental import IncrementalExecutor
 from repro.learning.ensemble import VotingEnsemble
 from repro.learning.knn import KNearestNeighbors
 from repro.learning.naive_bayes import MultinomialNaiveBayes
@@ -142,6 +147,8 @@ class Chimera:
         ]
         self.training_data: List[LabeledTitle] = []
         self._pending_training = 0
+        # stage name -> incremental fired-map tracker (see track_fired_map).
+        self.fired_trackers: Dict[str, IncrementalExecutor] = {}
 
     @classmethod
     def build(
@@ -187,6 +194,61 @@ class Chimera:
             "rule-based": len(self.rule_stage.rules),
             "attr-value": len(self.attr_stage.rules),
             "filter": len(self.filter.rules),
+        }
+
+    # -- incremental fired-map maintenance ----------------------------------------
+
+    def _stage_ruleset(self, stage: str) -> RuleSet:
+        rulesets = {
+            "rule-based": self.rule_stage.rules,
+            "attr-value": self.attr_stage.rules,
+            "filter": self.filter.rules,
+        }
+        if stage not in rulesets:
+            raise ValueError(f"unknown rule stage {stage!r}; one of {sorted(rulesets)}")
+        return rulesets[stage]
+
+    def track_fired_map(
+        self,
+        stage: str = "rule-based",
+        items: Sequence[ItemLike] = (),
+        batch_stream=None,
+    ) -> IncrementalExecutor:
+        """Maintain a stage's ``rules × items`` fired map incrementally.
+
+        The long-running deployment's view of "which rules fire where" —
+        the input to coverage evaluation, scale-down blast-radius checks,
+        and rule repair — is kept as a materialized
+        :class:`~repro.execution.incremental.MatchStore` instead of being
+        recomputed from scratch. The returned executor is subscribed to
+        the stage's :class:`~repro.core.ruleset.RuleSet`, so every
+        analyst add/replace/retire and every ``disable_type`` from the
+        §2.2 scale-down playbook arrives as a delta; a
+        :class:`~repro.catalog.batches.BatchStream`, when given, drives
+        item arrivals the same way. Per-delta accounting lands on the
+        tracker's :class:`DeltaExecutionMonitor` (see
+        :meth:`fired_delta_report`).
+
+        Calling again for an already-tracked stage detaches the old
+        tracker first.
+        """
+        previous = self.fired_trackers.get(stage)
+        if previous is not None:
+            previous.detach()
+        tracker = IncrementalExecutor.for_ruleset(
+            self._stage_ruleset(stage), items=items, monitor=DeltaExecutionMonitor()
+        )
+        if batch_stream is not None:
+            tracker.follow_batches(batch_stream)
+        self.fired_trackers[stage] = tracker
+        return tracker
+
+    def fired_delta_report(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Per-stage delta ledgers from the attached fired-map trackers."""
+        return {
+            stage: tracker.monitor.report()
+            for stage, tracker in self.fired_trackers.items()
+            if tracker.monitor is not None
         }
 
     # -- health -------------------------------------------------------------------

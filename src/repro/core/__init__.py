@@ -36,7 +36,14 @@ from repro.core.properties import (
     stage_partition,
     whitelist_conflicts,
 )
-from repro.core.prepared import ItemLike, PreparedItem, prepare, prepare_all
+from repro.core.prepared import (
+    ItemLike,
+    PreparedCache,
+    PreparedItem,
+    prepare,
+    prepare_all,
+    prepare_cached,
+)
 from repro.core.registry import AuditEntry, RuleRegistry
 from repro.core.rule import (
     AttributeRule,
@@ -70,6 +77,7 @@ __all__ = [
     "OrderIndependenceReport",
     "PredicateRule",
     "Prediction",
+    "PreparedCache",
     "PreparedItem",
     "RegexRule",
     "Rule",
@@ -97,6 +105,7 @@ __all__ = [
     "parse_rules",
     "prepare",
     "prepare_all",
+    "prepare_cached",
     "save_registry",
     "save_ruleset",
     "stage_partition",

@@ -12,7 +12,7 @@ order-independence assumptions themselves are checked by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.types import ProductItem
 from repro.core.errors import DuplicateRuleError, UnknownRuleError
@@ -62,8 +62,52 @@ class RuleSet:
         self.name = name
         self._rules: Dict[str, Rule] = {}
         self._order: List[str] = []
+        # Change-notification plumbing for incremental consumers (§4's
+        # "when rule R is modified ... re-run only what changed"): every
+        # mutation bumps `version`, assigns the touched rule a fresh
+        # per-rule revision, and fans the event out to subscribers.
+        self._version = 0
+        self._revisions: Dict[str, int] = {}
+        self._listeners: List[Callable[[str, Rule], None]] = []
         for rule in rules:
             self.add(rule)
+
+    # -- change notification ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation (cheap staleness check)."""
+        return self._version
+
+    def revision(self, rule_id: str) -> int:
+        """The rule's revision number: bumped on add and on replace.
+
+        ``(rule_id, revision)`` is the *versioned rule identity* — two
+        sightings of the same pair are guaranteed to denote the same rule
+        condition, so cached per-rule results keyed on it stay sound.
+        """
+        if rule_id not in self._rules:
+            raise UnknownRuleError(rule_id)
+        return self._revisions[rule_id]
+
+    def subscribe(self, listener: Callable[[str, Rule], None]) -> Callable[[], None]:
+        """Register ``listener(event, rule)`` for mutations; returns unsubscribe.
+
+        Events: ``"added"``, ``"removed"``, ``"replaced"``, ``"enabled"``,
+        ``"disabled"``. Listeners run synchronously inside the mutation.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _notify(self, event: str, rule: Rule) -> None:
+        self._version += 1
+        for listener in list(self._listeners):
+            listener(event, rule)
 
     # -- container protocol ----------------------------------------------------
 
@@ -89,6 +133,8 @@ class RuleSet:
             raise DuplicateRuleError(f"rule {rule.rule_id!r} already in {self.name!r}")
         self._rules[rule.rule_id] = rule
         self._order.append(rule.rule_id)
+        self._revisions[rule.rule_id] = self._revisions.get(rule.rule_id, 0) + 1
+        self._notify("added", rule)
         return rule
 
     def extend(self, rules: Iterable[Rule]) -> None:
@@ -99,14 +145,35 @@ class RuleSet:
         rule = self.get(rule_id)
         del self._rules[rule_id]
         self._order.remove(rule_id)
+        self._notify("removed", rule)
         return rule
+
+    def replace(self, rule: Rule) -> Rule:
+        """Swap in an edited rule with the same rule_id (an analyst edit).
+
+        The rule keeps its position in evaluation order but gets a fresh
+        revision; returns the old rule object. This is the mutation §4's
+        incremental-execution discussion is about — subscribers see a
+        single ``"replaced"`` event instead of a remove/add pair.
+        """
+        old = self.get(rule.rule_id)
+        self._rules[rule.rule_id] = rule
+        self._revisions[rule.rule_id] += 1
+        self._notify("replaced", rule)
+        return old
 
     def disable(self, rule_id: str) -> None:
         """Switch a rule off without losing it (fast incident response)."""
-        self.get(rule_id).enabled = False
+        rule = self.get(rule_id)
+        if rule.enabled:
+            rule.enabled = False
+            self._notify("disabled", rule)
 
     def enable(self, rule_id: str) -> None:
-        self.get(rule_id).enabled = True
+        rule = self.get(rule_id)
+        if not rule.enabled:
+            rule.enabled = True
+            self._notify("enabled", rule)
 
     def disable_type(self, target_type: str) -> List[str]:
         """Disable every rule targeting ``target_type``; returns their ids.
@@ -118,6 +185,7 @@ class RuleSet:
         for rule in self:
             if rule.target_type == target_type and rule.enabled:
                 rule.enabled = False
+                self._notify("disabled", rule)
                 disabled.append(rule.rule_id)
         return disabled
 

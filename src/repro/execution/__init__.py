@@ -24,11 +24,24 @@ output is rejected by driver-side validation, and runs degrade — with an
 explicit skip report — instead of raising. See
 :mod:`repro.execution.resilience` and the deterministic fault-injection
 harness in :mod:`repro.testing.faults`.
+
+For the never-ending deployment (§2.2/§4), the from-scratch executors are
+the wrong tool: rule churn and batch arrival change a sliver of the
+``rules × items`` grid. :class:`IncrementalExecutor` +
+:class:`MatchStore` (see :mod:`repro.execution.incremental`) maintain the
+fired map as a materialized view and re-evaluate only the delta.
 """
 
-from repro.core.prepared import PreparedItem, prepare, prepare_all
+from repro.core.prepared import (
+    PreparedCache,
+    PreparedItem,
+    prepare,
+    prepare_all,
+    prepare_cached,
+)
 from repro.execution.data_index import DataIndex
 from repro.execution.executor import ExecutionStats, IndexedExecutor, NaiveExecutor
+from repro.execution.incremental import IncrementalExecutor, MatchStore
 from repro.execution.parallel import (
     PartitionedExecutor,
     PartitionedRunResult,
@@ -53,10 +66,13 @@ __all__ = [
     "DegradedRunError",
     "ExecutionStats",
     "FaultEvent",
+    "IncrementalExecutor",
     "IndexedExecutor",
+    "MatchStore",
     "NaiveExecutor",
     "PartitionedExecutor",
     "PartitionedRunResult",
+    "PreparedCache",
     "PreparedItem",
     "RetryPolicy",
     "RuleIndex",
@@ -67,5 +83,6 @@ __all__ = [
     "critical_path",
     "prepare",
     "prepare_all",
+    "prepare_cached",
     "validate_shard_output",
 ]

@@ -29,7 +29,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.types import ProductItem
-from repro.core.prepared import ItemLike, PreparedItem, prepare
+from repro.core.prepared import (
+    ItemLike,
+    PreparedCache,
+    PreparedItem,
+    prepare,
+    prepare_cached,
+)
 from repro.core.rule import Rule
 from repro.execution.rule_index import RuleIndex
 
@@ -44,6 +50,20 @@ class ExecutionStats:
     ``retries`` and the ``skipped_*`` fields are the resilience ledger:
     how many shard re-dispatches the run cost, and which items were
     dropped under degraded mode (item-level skips or skipped shards).
+
+    The ``cache_*`` / ``invalidations`` / ``delta_*`` fields are the
+    incremental-execution ledger (see
+    :mod:`repro.execution.incremental`):
+
+    * ``cache_hits`` / ``cache_misses`` — reuse of memoized state: a
+      prepared item found in (vs added to) a shared prepared cache, or a
+      materialized fired-map snapshot served without a rebuild;
+    * ``invalidations`` — stored ``(rule, item)`` match pairs discarded
+      because a delta made them stale (rule removed/updated, item
+      removed/re-listed);
+    * ``delta_rules`` / ``delta_items`` — how many rules/items the delta
+      path actually (re)evaluated, i.e. the size of the re-run that
+      replaced a full ``rules × items`` pass.
     """
 
     items: int = 0
@@ -55,6 +75,11 @@ class ExecutionStats:
     retries: int = 0
     skipped_items: int = 0
     skipped_item_ids: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    invalidations: int = 0
+    delta_rules: int = 0
+    delta_items: int = 0
 
     @property
     def evaluations_per_item(self) -> float:
@@ -63,6 +88,12 @@ class ExecutionStats:
     @property
     def items_per_second(self) -> float:
         return self.items / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups served from memoized state."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Fold another run's counters into this one (shard merging)."""
@@ -74,6 +105,11 @@ class ExecutionStats:
         self.retries += other.retries
         self.skipped_items += other.skipped_items
         self.skipped_item_ids.extend(other.skipped_item_ids)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.invalidations += other.invalidations
+        self.delta_rules += other.delta_rules
+        self.delta_items += other.delta_items
 
 
 def _checked_mode(on_error: str) -> str:
@@ -83,13 +119,25 @@ def _checked_mode(on_error: str) -> str:
 
 
 def _guarded_prepare(
-    items: Sequence[ItemLike], anchors: bool, skip: bool, stats: ExecutionStats
+    items: Sequence[ItemLike],
+    anchors: bool,
+    skip: bool,
+    stats: ExecutionStats,
+    cache: Optional[PreparedCache] = None,
 ) -> List[Optional[PreparedItem]]:
-    """Prepare every item; under degraded mode a bad record becomes None."""
+    """Prepare every item; under degraded mode a bad record becomes None.
+
+    With a shared ``cache`` (item_id -> PreparedItem), items prepared by an
+    earlier run/component are reused; hits and misses land on ``stats``.
+    """
     prepared_items: List[Optional[PreparedItem]] = []
     for item in items:
         try:
-            prepared_items.append(prepare(item).warm(anchors=anchors))
+            if cache is not None:
+                hit = isinstance(item, PreparedItem) or item.item_id in cache
+                stats.cache_hits += 1 if hit else 0
+                stats.cache_misses += 0 if hit else 1
+            prepared_items.append(prepare_cached(item, cache).warm(anchors=anchors))
         except Exception:
             if not skip:
                 raise
@@ -102,9 +150,15 @@ def _guarded_prepare(
 class NaiveExecutor:
     """Checks every (enabled) rule against every item."""
 
-    def __init__(self, rules: Sequence[Rule], on_error: str = "raise"):
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        on_error: str = "raise",
+        prepared_cache: Optional[PreparedCache] = None,
+    ):
         self.rules = list(rules)
         self.on_error = _checked_mode(on_error)
+        self.prepared_cache = prepared_cache
 
     def run(
         self, items: Sequence[ItemLike]
@@ -115,7 +169,7 @@ class NaiveExecutor:
         active = [rule for rule in self.rules if rule.enabled]
         skip = self.on_error == "skip"
         started = time.perf_counter()
-        prepared_items = _guarded_prepare(items, False, skip, stats)
+        prepared_items = _guarded_prepare(items, False, skip, stats, self.prepared_cache)
         stats.prepare_time = time.perf_counter() - started
         for prepared in prepared_items:
             stats.items += 1
@@ -153,10 +207,12 @@ class IndexedExecutor:
         rules: Sequence[Rule],
         token_frequency: Optional[Dict[str, int]] = None,
         on_error: str = "raise",
+        prepared_cache: Optional[PreparedCache] = None,
     ):
         self.rules = list(rules)
         self.index = RuleIndex(self.rules, token_frequency=token_frequency)
         self.on_error = _checked_mode(on_error)
+        self.prepared_cache = prepared_cache
 
     def run(
         self, items: Sequence[ItemLike]
@@ -167,7 +223,7 @@ class IndexedExecutor:
         candidates = self.index.candidates
         skip = self.on_error == "skip"
         started = time.perf_counter()
-        prepared_items = _guarded_prepare(items, True, skip, stats)
+        prepared_items = _guarded_prepare(items, True, skip, stats, self.prepared_cache)
         stats.prepare_time = time.perf_counter() - started
         for prepared in prepared_items:
             stats.items += 1

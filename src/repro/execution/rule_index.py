@@ -22,7 +22,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.catalog.types import ProductItem
-from repro.core.prepared import ItemLike, prepare
+from repro.core.prepared import ItemLike, PreparedCache, prepare_cached
 from repro.core.rule import Rule, SequenceRule
 from repro.utils.text import tokenize
 
@@ -37,10 +37,14 @@ class RuleIndex:
         self,
         rules: Iterable[Rule] = (),
         token_frequency: Optional[Dict[str, int]] = None,
+        prepared_cache: Optional[PreparedCache] = None,
     ):
         self._postings: Dict[str, List[Rule]] = defaultdict(list)
         self._residue: List[Rule] = []
         self._token_frequency = dict(token_frequency or {})
+        # Shared item_id -> PreparedItem cache: candidate probing on a raw
+        # item reuses tokenization done by an executor or DataIndex.
+        self.prepared_cache = prepared_cache
         # rule_id -> posting keys (tokens, or _RESIDUE_KEY) the rule lives
         # under; consulted by remove() so it never scans unrelated postings.
         self._keys_by_rule: Dict[str, List[Optional[str]]] = {}
@@ -96,12 +100,24 @@ class RuleIndex:
         return True
 
     def _rarest(self, tokens: Sequence[str]) -> str:
-        """The corpus-rarest token (longest as fallback heuristic)."""
-        if self._token_frequency:
-            return min(
-                tokens, key=lambda t: (self._token_frequency.get(t, 0), t)
-            )
-        return max(tokens, key=lambda t: (len(t), t))
+        """The anchor token a sequence rule is posted under — deterministic.
+
+        Ranking, best first:
+
+        1. lowest corpus frequency (tokens *missing* from the table rank as
+           frequency 0 — unseen vocabulary is treated as rare, which keeps
+           the posting list short even when the table is stale);
+        2. on frequency ties (including an empty/absent table, where every
+           token ties at 0), the longest token — longer tokens discriminate
+           better;
+        3. on length ties, the lexicographically smallest token.
+
+        The same rule therefore always lands under the same anchor for a
+        given frequency table, regardless of insertion order or dict
+        iteration order.
+        """
+        frequency = self._token_frequency
+        return min(tokens, key=lambda t: (frequency.get(t, 0), -len(t), t))
 
     def candidates(self, item: ItemLike) -> List[Rule]:
         """Rules that might match ``item`` (superset of actual matches).
@@ -109,9 +125,10 @@ class RuleIndex:
         Matching against anchors uses the item's tokens *and* their crude
         singular forms so plural-tolerant anchors like "ring" hit "rings".
         Accepts a :class:`~repro.core.prepared.PreparedItem` to reuse the
-        item's one-time tokenization; raw items are prepared on the fly.
+        item's one-time tokenization; raw items are prepared on the fly
+        (through :attr:`prepared_cache` when one is attached).
         """
-        prepared = prepare(item)
+        prepared = prepare_cached(item, self.prepared_cache)
         seen: Set[str] = set()
         found: List[Rule] = []
         postings = self._postings
