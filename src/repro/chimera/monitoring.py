@@ -272,7 +272,19 @@ class StageHealthMonitor:
     stage-failure incident automatically.
     """
 
-    def __init__(self, failure_threshold: int = 3, cooldown: int = 8):
+    #: Gauge encoding of breaker states (``stage_breaker_state{stage=}``).
+    BREAKER_STATE_CODES = {
+        BreakerState.CLOSED: 0,
+        BreakerState.HALF_OPEN: 1,
+        BreakerState.OPEN: 2,
+    }
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: int = 8,
+        metrics=None,
+    ):
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self._breakers: Dict[str, CircuitBreaker] = {}
@@ -283,6 +295,16 @@ class StageHealthMonitor:
         self.events: List[Tuple[str, str]] = []  # (stage, event)
         self.on_breaker_open: List[Callable[[str], None]] = []
         self._calls = 0
+        # Optional MetricsRegistry; when set, every health event is mirrored
+        # as stage_{success,failure,routed_around}_total counters plus the
+        # stage_breaker_state gauge (0=closed, 1=half-open, 2=open).
+        self.metrics = metrics
+
+    def _publish_state(self, stage_name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("stage_breaker_state", stage=stage_name).set(
+                self.BREAKER_STATE_CODES[self.breaker(stage_name).state]
+            )
 
     def breaker(self, stage_name: str) -> CircuitBreaker:
         if stage_name not in self._breakers:
@@ -296,11 +318,19 @@ class StageHealthMonitor:
         allowed = self.breaker(stage_name).allow()
         if not allowed:
             self.routed_around[stage_name] += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "stage_routed_around_total", stage=stage_name
+                ).inc()
+        self._publish_state(stage_name)
         return allowed
 
     def record_success(self, stage_name: str) -> None:
         self.successes[stage_name] += 1
         self.breaker(stage_name).record_success()
+        if self.metrics is not None:
+            self.metrics.counter("stage_success_total", stage=stage_name).inc()
+        self._publish_state(stage_name)
 
     def record_failure(self, stage_name: str, error: Exception) -> None:
         self.failures[stage_name] += 1
@@ -308,6 +338,9 @@ class StageHealthMonitor:
         breaker = self.breaker(stage_name)
         was_open = breaker.state is BreakerState.OPEN
         breaker.record_failure()
+        if self.metrics is not None:
+            self.metrics.counter("stage_failure_total", stage=stage_name).inc()
+        self._publish_state(stage_name)
         if breaker.state is BreakerState.OPEN and not was_open:
             self.events.append((stage_name, "breaker-open"))
             for callback in self.on_breaker_open:
@@ -346,9 +379,12 @@ class GuardedStage:
     actions on the underlying object (disabling, retraining) stay visible.
     """
 
-    def __init__(self, stage, health: StageHealthMonitor):
+    def __init__(self, stage, health: StageHealthMonitor, tracer=None):
         self.stage = stage
         self.health = health
+        # Optional Tracer; each guarded call becomes a "stage.<name>" span
+        # with op= and outcome= attributes (ok / error / routed-around).
+        self.tracer = tracer
 
     @property
     def name(self) -> str:
@@ -358,19 +394,31 @@ class GuardedStage:
     def enabled(self) -> bool:
         return self.stage.enabled
 
-    def _guarded(self, method: Callable, fallback):
+    def _guarded(self, method: Callable, fallback, op: str):
+        if self.tracer is None:
+            return self._call(method, fallback, None)
+        with self.tracer.span(f"stage.{self.stage.name}", op=op) as span:
+            return self._call(method, fallback, span)
+
+    def _call(self, method: Callable, fallback, span):
         if not self.health.allow(self.stage.name):
+            if span is not None:
+                span.set_attribute("outcome", "routed-around")
             return fallback
         try:
             result = method()
         except Exception as exc:
             self.health.record_failure(self.stage.name, exc)
+            if span is not None:
+                span.set_attribute("outcome", "error")
             return fallback
         self.health.record_success(self.stage.name)
+        if span is not None:
+            span.set_attribute("outcome", "ok")
         return result
 
     def predict(self, item) -> List:
-        return self._guarded(lambda: self.stage.predict(item), [])
+        return self._guarded(lambda: self.stage.predict(item), [], "predict")
 
     def constraints(self, item) -> Optional[Set[str]]:
-        return self._guarded(lambda: self.stage.constraints(item), None)
+        return self._guarded(lambda: self.stage.constraints(item), None, "constraints")

@@ -25,6 +25,7 @@ from repro.core.rule import Rule
 from repro.core.ruleset import RuleSet
 from repro.execution.incremental import IncrementalExecutor
 from repro.learning.ensemble import VotingEnsemble
+from repro.observability import Observability, ensure_observability
 from repro.learning.knn import KNearestNeighbors
 from repro.learning.naive_bayes import MultinomialNaiveBayes
 from repro.learning.svm import LinearSvmClassifier
@@ -129,6 +130,7 @@ class Chimera:
         voting: VotingMaster,
         final_filter: FinalFilter,
         health: Optional[StageHealthMonitor] = None,
+        observability: Optional[Observability] = None,
     ):
         self.gatekeeper = gatekeeper
         self.rule_stage = rule_stage
@@ -136,13 +138,23 @@ class Chimera:
         self.learning_stage = learning_stage
         self.voting = voting
         self.filter = final_filter
+        # ``observability`` threads one tracer + metrics registry through
+        # the whole pipeline: classify calls emit chimera.* spans (gate →
+        # stages → vote → filter) and the health monitor mirrors breaker
+        # state as gauges. The default NULL instance records nothing.
+        self.observability = ensure_observability(observability)
         # Every stage call is routed through a circuit-breaker guard: a
         # stage that throws repeatedly is routed around (no votes) until
         # its breaker cools down, so one bad component degrades coverage
         # instead of stopping classification (§2.2).
         self.health = health if health is not None else StageHealthMonitor()
+        if self.observability.enabled and self.health.metrics is None:
+            self.health.metrics = self.observability.metrics
+        tracer = (
+            self.observability.tracer if self.observability.enabled else None
+        )
         self._guarded_stages = [
-            GuardedStage(stage, self.health)
+            GuardedStage(stage, self.health, tracer=tracer)
             for stage in (self.rule_stage, self.attr_stage, self.learning_stage)
         ]
         self.training_data: List[LabeledTitle] = []
@@ -156,6 +168,7 @@ class Chimera:
         confidence_threshold: float = 0.4,
         ensemble: Optional[VotingEnsemble] = None,
         seed: int = 0,
+        observability: Optional[Observability] = None,
     ) -> "Chimera":
         """Standard assembly with the NB + kNN + SVM ensemble of section 3.1."""
         if ensemble is None:
@@ -173,6 +186,7 @@ class Chimera:
             learning_stage=LearningClassifierStage(ensemble),
             voting=VotingMaster(confidence_threshold=confidence_threshold),
             final_filter=FinalFilter(RuleSet(name="filter")),
+            observability=observability,
         )
 
     # -- rule management hooks --------------------------------------------------
@@ -236,7 +250,12 @@ class Chimera:
         if previous is not None:
             previous.detach()
         tracker = IncrementalExecutor.for_ruleset(
-            self._stage_ruleset(stage), items=items, monitor=DeltaExecutionMonitor()
+            self._stage_ruleset(stage),
+            items=items,
+            monitor=DeltaExecutionMonitor(),
+            observability=(
+                self.observability if self.observability.enabled else None
+            ),
         )
         if batch_stream is not None:
             tracker.follow_batches(batch_stream)
@@ -303,20 +322,33 @@ class Chimera:
         and filter below shares the same
         :class:`~repro.core.prepared.PreparedItem` view.
         """
-        prepared = prepare(item)
-        raw_item = prepared.item
-        decision = self.gatekeeper.process(prepared)
-        if decision.action is GateAction.REJECT:
-            return None
-        if decision.action is GateAction.CLASSIFY:
-            return ItemResult(raw_item, decision.label, source="gate")
-        final, ranked = self.voting.combine(prepared, self._guarded_stages)
-        if final is None and not ranked:
-            return ItemResult(raw_item, None, source="no-votes")
-        chosen = self.filter.select(prepared, ranked, self.voting.confidence_threshold)
-        if chosen is None:
-            return ItemResult(raw_item, None, source="low-confidence-or-filtered")
-        return ItemResult(raw_item, chosen.label, source="pipeline")
+        obs = self.observability
+        with obs.span("chimera.classify_item") as item_span:
+            with obs.span("chimera.prepare"):
+                prepared = prepare(item)
+            raw_item = prepared.item
+            with obs.span("chimera.gate"):
+                decision = self.gatekeeper.process(prepared)
+            if decision.action is GateAction.REJECT:
+                item_span.set_attribute("source", "gate-reject")
+                return None
+            if decision.action is GateAction.CLASSIFY:
+                item_span.set_attribute("source", "gate")
+                return ItemResult(raw_item, decision.label, source="gate")
+            with obs.span("chimera.vote"):
+                final, ranked = self.voting.combine(prepared, self._guarded_stages)
+            if final is None and not ranked:
+                item_span.set_attribute("source", "no-votes")
+                return ItemResult(raw_item, None, source="no-votes")
+            with obs.span("chimera.filter"):
+                chosen = self.filter.select(
+                    prepared, ranked, self.voting.confidence_threshold
+                )
+            if chosen is None:
+                item_span.set_attribute("source", "low-confidence-or-filtered")
+                return ItemResult(raw_item, None, source="low-confidence-or-filtered")
+            item_span.set_attribute("source", "pipeline")
+            return ItemResult(raw_item, chosen.label, source="pipeline")
 
     def explain_item(self, item: ProductItem) -> str:
         """A human-readable account of how the pipeline treated ``item``.
@@ -352,11 +384,31 @@ class Chimera:
         return "\n".join(lines)
 
     def classify_batch(self, items: Sequence[ProductItem]) -> BatchResult:
+        obs = self.observability
         result = BatchResult()
-        for item in items:
-            item_result = self.classify_item(item)
-            if item_result is None:
-                result.rejected.append(item)
-            else:
-                result.results.append(item_result)
+        with obs.span("chimera.classify_batch", items=len(items)) as batch_span:
+            for item in items:
+                item_result = self.classify_item(item)
+                if item_result is None:
+                    result.rejected.append(item)
+                else:
+                    result.results.append(item_result)
+            batch_span.set_attribute(
+                "classified", sum(1 for r in result.results if r.classified)
+            )
+            batch_span.set_attribute("rejected", len(result.rejected))
+        if obs.enabled:
+            classified = sum(1 for r in result.results if r.classified)
+            obs.metrics.counter("chimera_items_total").inc(len(items))
+            obs.metrics.counter("chimera_classified_total").inc(classified)
+            obs.metrics.counter("chimera_declined_total").inc(
+                len(result.results) - classified
+            )
+            obs.metrics.counter("chimera_rejected_total").inc(len(result.rejected))
+            for result_source in ("gate", "pipeline"):
+                count = sum(1 for r in result.results if r.source == result_source)
+                if count:
+                    obs.metrics.counter(
+                        "chimera_labeled_by_total", source=result_source
+                    ).inc(count)
         return result

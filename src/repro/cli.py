@@ -7,6 +7,13 @@ Subcommands::
     repro classify --rules rules.json --items 1000       # Chimera metrics
     repro synonyms --rule "(motor | engine | \\syn) oils? -> motor oil" \\
                    --slot vehicle                        # §5.1 tool session
+    repro trace classify --out trace.json               # traced run + report
+
+``trace`` re-runs one of the instrumented paths (classify / exec /
+rulegen / synonyms) with observability enabled, prints the plain-text
+span + metrics report, and optionally writes the trace as Chrome-trace
+JSON (load it at chrome://tracing or https://ui.perfetto.dev) or
+JSON-lines.
 
 Every command is seeded and deterministic.
 """
@@ -117,6 +124,56 @@ def _cmd_synonyms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import Observability
+
+    observability = Observability()
+    generator = _build_generator(args.seed, 0)
+    if args.run == "classify":
+        chimera = Chimera.build(seed=args.seed, observability=observability)
+        chimera.add_training(generator.generate_labeled(args.training))
+        chimera.retrain(min_examples_per_type=5)
+        batch = generator.generate_items(args.items)
+        chimera.classify_batch(batch)
+        title = f"chimera classify ({len(batch)} items)"
+    elif args.run == "exec":
+        from repro.execution import IndexedExecutor, NaiveExecutor
+
+        training = generator.generate_labeled(args.training)
+        rules = RuleGenerator(min_support=0.02, q=200).generate(training).rules
+        items = generator.generate_items(args.items)
+        NaiveExecutor(rules, observability=observability).run(items)
+        IndexedExecutor(rules, observability=observability).run(items)
+        title = f"executors ({len(rules)} rules x {len(items)} items)"
+    elif args.run == "rulegen":
+        training = generator.generate_labeled(args.training)
+        RuleGenerator(
+            min_support=0.02, q=200, observability=observability
+        ).generate(training)
+        title = f"rulegen ({len(training)} examples)"
+    else:  # synonyms
+        corpus = [item.title for item in generator.generate_items(args.items)]
+        rule = args.rule or r"(motor | engine | \syn) oils? -> motor oil"
+        try:
+            tool = SynonymTool(rule, corpus)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        analyst = SimulatedAnalyst(generator.taxonomy, seed=args.seed)
+        DiscoverySession(
+            tool, analyst, patience=2, observability=observability
+        ).run(corpus_titles=len(corpus))
+        title = f"synonym session ({len(corpus)} titles)"
+    print(observability.report(title=f"trace: {title}"))
+    if args.out:
+        if args.format == "chrome":
+            count = observability.write_chrome_trace(args.out)
+        else:
+            count = observability.write_trace_jsonl(args.out)
+        print(f"wrote {count} {args.format} events -> {args.out}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +217,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="modifier family to judge against (default: any)")
     synonyms.add_argument("--corpus", type=int, default=8000)
     synonyms.set_defaults(func=_cmd_synonyms)
+
+    trace = sub.add_parser(
+        "trace", help="re-run an instrumented path and dump its trace"
+    )
+    trace.add_argument("run", choices=("classify", "exec", "rulegen", "synonyms"),
+                       help="which instrumented run to trace")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--items", type=int, default=200)
+    trace.add_argument("--training", type=int, default=1000)
+    trace.add_argument("--rule", default=None,
+                       help="synonym rule (trace synonyms only)")
+    trace.add_argument("--out", default=None, help="trace file path")
+    trace.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
+                       help="trace file format (default chrome)")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.types import ProductItem
 from repro.core.prepared import (
@@ -38,9 +38,12 @@ from repro.core.prepared import (
 )
 from repro.core.rule import Rule
 from repro.execution.rule_index import RuleIndex
+from repro.observability import Observability, ensure_observability
 
 
 _ON_ERROR_MODES = ("raise", "skip")
+
+_MERGE_WALL_MODES = ("keep", "sum", "max")
 
 
 @dataclass
@@ -64,6 +67,15 @@ class ExecutionStats:
     * ``delta_rules`` / ``delta_items`` — how many rules/items the delta
       path actually (re)evaluated, i.e. the size of the re-run that
       replaced a full ``rules × items`` pass.
+
+    **Additive vs. wall-clock fields.** Every counter above plus
+    ``prepare_time`` / ``match_time`` is *additive*: it sums cleanly
+    across shards and runs (the time fields are CPU-style totals — over a
+    parallel run their sum can legitimately exceed elapsed time).
+    ``wall_time`` is the one *non-additive* field: it is elapsed time as
+    observed by whoever owns the run (the driver, for a partitioned run —
+    including retry backoff and failed attempts), so :meth:`merge` leaves
+    it alone unless told how to combine it (see the ``wall`` parameter).
     """
 
     items: int = 0
@@ -95,8 +107,25 @@ class ExecutionStats:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
-    def merge(self, other: "ExecutionStats") -> None:
-        """Fold another run's counters into this one (shard merging)."""
+    def merge(self, other: "ExecutionStats", wall: str = "keep") -> None:
+        """Fold another run's counters into this one.
+
+        All additive fields (work counters, ``prepare_time``,
+        ``match_time``) are summed. ``wall_time`` is combined according to
+        ``wall``:
+
+        * ``"keep"`` (default) — untouched; the caller owns elapsed time.
+          This is shard merging: the driver measures the run's wall clock
+          itself, and summing per-shard walls would double-count the
+          driver's elapsed time (each retried shard's failed attempts are
+          already inside the driver's measurement exactly once).
+        * ``"sum"`` — serial composition: ``other`` ran after ``self``
+          (the incremental executor's lifetime ledger).
+        * ``"max"`` — parallel composition: the makespan of runs that
+          executed side by side.
+        """
+        if wall not in _MERGE_WALL_MODES:
+            raise ValueError(f"wall must be one of {_MERGE_WALL_MODES}, got {wall!r}")
         self.items += other.items
         self.rule_evaluations += other.rule_evaluations
         self.matches += other.matches
@@ -110,6 +139,10 @@ class ExecutionStats:
         self.invalidations += other.invalidations
         self.delta_rules += other.delta_rules
         self.delta_items += other.delta_items
+        if wall == "sum":
+            self.wall_time += other.wall_time
+        elif wall == "max":
+            self.wall_time = max(self.wall_time, other.wall_time)
 
 
 def _checked_mode(on_error: str) -> str:
@@ -148,17 +181,29 @@ def _guarded_prepare(
 
 
 class NaiveExecutor:
-    """Checks every (enabled) rule against every item."""
+    """Checks every (enabled) rule against every item.
+
+    ``observability`` (a :class:`~repro.observability.Observability`)
+    makes the run emit an ``exec.naive.run`` span with ``prepare`` /
+    ``match`` children and feeds the metrics registry; ``clock`` is the
+    monotonic clock backing the stats timing (default
+    :func:`time.perf_counter` — tests inject a
+    :class:`~repro.utils.clock.TickClock`). Neither changes results.
+    """
 
     def __init__(
         self,
         rules: Sequence[Rule],
         on_error: str = "raise",
         prepared_cache: Optional[PreparedCache] = None,
+        observability: Optional[Observability] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.rules = list(rules)
         self.on_error = _checked_mode(on_error)
         self.prepared_cache = prepared_cache
+        self.observability = ensure_observability(observability)
+        self._clock = clock if clock is not None else time.perf_counter
 
     def run(
         self, items: Sequence[ItemLike]
@@ -168,30 +213,41 @@ class NaiveExecutor:
         fired: Dict[str, List[str]] = {}
         active = [rule for rule in self.rules if rule.enabled]
         skip = self.on_error == "skip"
-        started = time.perf_counter()
-        prepared_items = _guarded_prepare(items, False, skip, stats, self.prepared_cache)
-        stats.prepare_time = time.perf_counter() - started
-        for prepared in prepared_items:
-            stats.items += 1
-            if prepared is None:  # dropped during prepare under degraded mode
-                continue
-            hits: List[str] = []
-            try:
-                for rule in active:
-                    stats.rule_evaluations += 1
-                    if rule.matches_prepared(prepared):
-                        hits.append(rule.rule_id)
-            except Exception:
-                if not skip:
-                    raise
-                stats.skipped_items += 1
-                stats.skipped_item_ids.append(prepared.item_id)
-                continue
-            if hits:
-                stats.matches += len(hits)
-                fired[prepared.item_id] = sorted(hits)
-        stats.wall_time = time.perf_counter() - started
-        stats.match_time = max(0.0, stats.wall_time - stats.prepare_time)
+        obs = self.observability
+        clock = self._clock
+        with obs.span("exec.naive.run", rules=len(active), items=len(items)) as run_span:
+            started = clock()
+            with obs.span("prepare"):
+                prepared_items = _guarded_prepare(
+                    items, False, skip, stats, self.prepared_cache
+                )
+            stats.prepare_time = clock() - started
+            with obs.span("match"):
+                for prepared in prepared_items:
+                    stats.items += 1
+                    if prepared is None:  # dropped during prepare under degraded mode
+                        continue
+                    hits: List[str] = []
+                    try:
+                        for rule in active:
+                            stats.rule_evaluations += 1
+                            if rule.matches_prepared(prepared):
+                                hits.append(rule.rule_id)
+                    except Exception:
+                        if not skip:
+                            raise
+                        stats.skipped_items += 1
+                        stats.skipped_item_ids.append(prepared.item_id)
+                        continue
+                    if hits:
+                        stats.matches += len(hits)
+                        fired[prepared.item_id] = sorted(hits)
+            stats.wall_time = clock() - started
+            stats.match_time = max(0.0, stats.wall_time - stats.prepare_time)
+            run_span.set_attribute("rule_evaluations", stats.rule_evaluations)
+            run_span.set_attribute("matches", stats.matches)
+        obs.observe_execution(stats, executor="naive")
+        obs.observe_fired(fired)
         return fired, stats
 
 
@@ -208,11 +264,15 @@ class IndexedExecutor:
         token_frequency: Optional[Dict[str, int]] = None,
         on_error: str = "raise",
         prepared_cache: Optional[PreparedCache] = None,
+        observability: Optional[Observability] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.rules = list(rules)
         self.index = RuleIndex(self.rules, token_frequency=token_frequency)
         self.on_error = _checked_mode(on_error)
         self.prepared_cache = prepared_cache
+        self.observability = ensure_observability(observability)
+        self._clock = clock if clock is not None else time.perf_counter
 
     def run(
         self, items: Sequence[ItemLike]
@@ -222,30 +282,43 @@ class IndexedExecutor:
         fired: Dict[str, List[str]] = {}
         candidates = self.index.candidates
         skip = self.on_error == "skip"
-        started = time.perf_counter()
-        prepared_items = _guarded_prepare(items, True, skip, stats, self.prepared_cache)
-        stats.prepare_time = time.perf_counter() - started
-        for prepared in prepared_items:
-            stats.items += 1
-            if prepared is None:  # dropped during prepare under degraded mode
-                continue
-            hits: List[str] = []
-            try:
-                for rule in candidates(prepared):
-                    if not rule.enabled:
+        obs = self.observability
+        clock = self._clock
+        with obs.span(
+            "exec.indexed.run", rules=len(self.rules), items=len(items)
+        ) as run_span:
+            started = clock()
+            with obs.span("prepare"):
+                prepared_items = _guarded_prepare(
+                    items, True, skip, stats, self.prepared_cache
+                )
+            stats.prepare_time = clock() - started
+            with obs.span("match"):
+                for prepared in prepared_items:
+                    stats.items += 1
+                    if prepared is None:  # dropped during prepare under degraded mode
                         continue
-                    stats.rule_evaluations += 1
-                    if rule.matches_prepared(prepared):
-                        hits.append(rule.rule_id)
-            except Exception:
-                if not skip:
-                    raise
-                stats.skipped_items += 1
-                stats.skipped_item_ids.append(prepared.item_id)
-                continue
-            if hits:
-                stats.matches += len(hits)
-                fired[prepared.item_id] = sorted(hits)
-        stats.wall_time = time.perf_counter() - started
-        stats.match_time = max(0.0, stats.wall_time - stats.prepare_time)
+                    hits: List[str] = []
+                    try:
+                        for rule in candidates(prepared):
+                            if not rule.enabled:
+                                continue
+                            stats.rule_evaluations += 1
+                            if rule.matches_prepared(prepared):
+                                hits.append(rule.rule_id)
+                    except Exception:
+                        if not skip:
+                            raise
+                        stats.skipped_items += 1
+                        stats.skipped_item_ids.append(prepared.item_id)
+                        continue
+                    if hits:
+                        stats.matches += len(hits)
+                        fired[prepared.item_id] = sorted(hits)
+            stats.wall_time = clock() - started
+            stats.match_time = max(0.0, stats.wall_time - stats.prepare_time)
+            run_span.set_attribute("rule_evaluations", stats.rule_evaluations)
+            run_span.set_attribute("matches", stats.matches)
+        obs.observe_execution(stats, executor="indexed")
+        obs.observe_fired(fired)
         return fired, stats

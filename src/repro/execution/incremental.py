@@ -63,6 +63,7 @@ from repro.core.ruleset import RuleSet
 from repro.execution.data_index import DataIndex
 from repro.execution.executor import ExecutionStats
 from repro.execution.rule_index import RuleIndex
+from repro.observability import Observability, ensure_observability
 
 
 class MatchStore:
@@ -233,10 +234,14 @@ class IncrementalExecutor:
         token_frequency: Optional[Dict[str, int]] = None,
         prepared_cache: Optional[PreparedCache] = None,
         monitor: Optional[object] = None,
+        observability: Optional[Observability] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.prepared_cache: PreparedCache = (
             prepared_cache if prepared_cache is not None else {}
         )
+        self.observability = ensure_observability(observability)
+        self._clock = clock if clock is not None else time.perf_counter
         self._rules: Dict[str, Rule] = {}
         self._data_index = DataIndex(cache=self.prepared_cache)
         self._rule_index = RuleIndex(
@@ -324,75 +329,81 @@ class IncrementalExecutor:
         is invalidated and the item is re-evaluated from scratch.
         """
         op = ExecutionStats()
-        started = time.perf_counter()
-        for item in items:
-            item_id = getattr(item, "item_id", None)
-            if item_id in self._data_index:
-                # Re-listing: the old row's stored matches must not survive.
-                # prepare_cached itself refuses to serve a stale cache entry
-                # wrapping the old record, so no explicit eviction is needed.
-                op.invalidations += self.store.discard_item(item_id)
-            cached = self.prepared_cache.get(item_id)
-            record = item.item if isinstance(item, PreparedItem) else item
-            hit = isinstance(item, PreparedItem) or (
-                cached is not None
-                and (cached.item is record or cached.item == record)
-            )
-            op.cache_hits += 1 if hit else 0
-            op.cache_misses += 0 if hit else 1
-            prepare_started = time.perf_counter()
-            prepared = prepare_cached(item, self.prepared_cache).warm(anchors=True)
-            op.prepare_time += time.perf_counter() - prepare_started
-            self._data_index.add(prepared.item)
-            hits: List[str] = []
-            for rule in self._rule_index.candidates(prepared):
-                op.rule_evaluations += 1
-                if rule.matches_prepared(prepared):
-                    hits.append(rule.rule_id)
-            op.invalidations += self.store.set_item_matches(prepared.item_id, hits)
-            op.matches += len(hits)
-            op.items += 1
-            op.delta_items += 1
-        return self._finish("add_items", op, started)
+        items = list(items)
+        with self.observability.span("exec.incremental.add_items", items=len(items)):
+            started = self._clock()
+            for item in items:
+                item_id = getattr(item, "item_id", None)
+                if item_id in self._data_index:
+                    # Re-listing: the old row's stored matches must not
+                    # survive. prepare_cached itself refuses to serve a stale
+                    # cache entry wrapping the old record, so no explicit
+                    # eviction is needed.
+                    op.invalidations += self.store.discard_item(item_id)
+                cached = self.prepared_cache.get(item_id)
+                record = item.item if isinstance(item, PreparedItem) else item
+                hit = isinstance(item, PreparedItem) or (
+                    cached is not None
+                    and (cached.item is record or cached.item == record)
+                )
+                op.cache_hits += 1 if hit else 0
+                op.cache_misses += 0 if hit else 1
+                prepare_started = self._clock()
+                prepared = prepare_cached(item, self.prepared_cache).warm(anchors=True)
+                op.prepare_time += self._clock() - prepare_started
+                self._data_index.add(prepared.item)
+                hits: List[str] = []
+                for rule in self._rule_index.candidates(prepared):
+                    op.rule_evaluations += 1
+                    if rule.matches_prepared(prepared):
+                        hits.append(rule.rule_id)
+                op.invalidations += self.store.set_item_matches(prepared.item_id, hits)
+                op.matches += len(hits)
+                op.items += 1
+                op.delta_items += 1
+            return self._finish("add_items", op, started)
 
     def remove_items(self, item_ids: Iterable[str]) -> ExecutionStats:
         """Drop departed items; cost is O(their stored matches)."""
         op = ExecutionStats()
-        started = time.perf_counter()
-        for item_id in item_ids:
-            if self._data_index.remove(item_id):
-                op.invalidations += self.store.discard_item(item_id)
-                self.prepared_cache.pop(item_id, None)
-                op.delta_items += 1
-        return self._finish("remove_items", op, started)
+        with self.observability.span("exec.incremental.remove_items"):
+            started = self._clock()
+            for item_id in item_ids:
+                if self._data_index.remove(item_id):
+                    op.invalidations += self.store.discard_item(item_id)
+                    self.prepared_cache.pop(item_id, None)
+                    op.delta_items += 1
+            return self._finish("remove_items", op, started)
 
     def add_rules(self, rules: Iterable[Rule]) -> ExecutionStats:
         """Fold new rules in: O(candidate rows of each rule), not O(catalog)."""
         op = ExecutionStats()
-        started = time.perf_counter()
-        for rule in rules:
-            if rule.rule_id in self._rules:
-                raise DuplicateRuleError(
-                    f"rule {rule.rule_id!r} already tracked; use update_rule"
-                )
-            self._rules[rule.rule_id] = rule
-            self._rule_index.add(rule)
-            self._evaluate_rule(rule, op)
-            op.delta_rules += 1
-        return self._finish("add_rules", op, started)
+        with self.observability.span("exec.incremental.add_rules"):
+            started = self._clock()
+            for rule in rules:
+                if rule.rule_id in self._rules:
+                    raise DuplicateRuleError(
+                        f"rule {rule.rule_id!r} already tracked; use update_rule"
+                    )
+                self._rules[rule.rule_id] = rule
+                self._rule_index.add(rule)
+                self._evaluate_rule(rule, op)
+                op.delta_rules += 1
+            return self._finish("add_rules", op, started)
 
     def remove_rules(self, rule_ids: Iterable[str]) -> ExecutionStats:
         """Retire rules; cost is O(their postings + stored matches)."""
         op = ExecutionStats()
-        started = time.perf_counter()
-        for rule_id in rule_ids:
-            if rule_id not in self._rules:
-                raise UnknownRuleError(rule_id)
-            del self._rules[rule_id]
-            self._rule_index.remove(rule_id)
-            op.invalidations += self.store.discard_rule(rule_id)
-            op.delta_rules += 1
-        return self._finish("remove_rules", op, started)
+        with self.observability.span("exec.incremental.remove_rules"):
+            started = self._clock()
+            for rule_id in rule_ids:
+                if rule_id not in self._rules:
+                    raise UnknownRuleError(rule_id)
+                del self._rules[rule_id]
+                self._rule_index.remove(rule_id)
+                op.invalidations += self.store.discard_rule(rule_id)
+                op.delta_rules += 1
+            return self._finish("remove_rules", op, started)
 
     def update_rule(self, rule: Rule) -> ExecutionStats:
         """An analyst edited ``rule`` (same rule_id, new condition).
@@ -402,15 +413,18 @@ class IncrementalExecutor:
         invalidated. Everything else in the store is untouched.
         """
         op = ExecutionStats()
-        started = time.perf_counter()
-        if rule.rule_id not in self._rules:
-            raise UnknownRuleError(rule.rule_id)
-        self._rules[rule.rule_id] = rule
-        self._rule_index.remove(rule.rule_id)
-        self._rule_index.add(rule)
-        self._evaluate_rule(rule, op)
-        op.delta_rules += 1
-        return self._finish("update_rule", op, started)
+        with self.observability.span(
+            "exec.incremental.update_rule", rule_id=rule.rule_id
+        ):
+            started = self._clock()
+            if rule.rule_id not in self._rules:
+                raise UnknownRuleError(rule.rule_id)
+            self._rules[rule.rule_id] = rule
+            self._rule_index.remove(rule.rule_id)
+            self._rule_index.add(rule)
+            self._evaluate_rule(rule, op)
+            op.delta_rules += 1
+            return self._finish("update_rule", op, started)
 
     def refresh(self) -> Tuple[Dict[str, List[str]], ExecutionStats]:
         """Rebuild the store from scratch (escape hatch / initial load).
@@ -419,20 +433,21 @@ class IncrementalExecutor:
         the size of the store it threw away.
         """
         op = ExecutionStats()
-        started = time.perf_counter()
-        op.invalidations += self.store.clear()
-        for _row, prepared in self._data_index.live_rows():
-            hits: List[str] = []
-            for rule in self._rule_index.candidates(prepared):
-                op.rule_evaluations += 1
-                if rule.matches_prepared(prepared):
-                    hits.append(rule.rule_id)
-            self.store.set_item_matches(prepared.item_id, hits)
-            op.matches += len(hits)
-            op.items += 1
-            op.delta_items += 1
-        op.delta_rules += len(self._rules)
-        self._finish("refresh", op, started)
+        with self.observability.span("exec.incremental.refresh"):
+            started = self._clock()
+            op.invalidations += self.store.clear()
+            for _row, prepared in self._data_index.live_rows():
+                hits: List[str] = []
+                for rule in self._rule_index.candidates(prepared):
+                    op.rule_evaluations += 1
+                    if rule.matches_prepared(prepared):
+                        hits.append(rule.rule_id)
+                self.store.set_item_matches(prepared.item_id, hits)
+                op.matches += len(hits)
+                op.items += 1
+                op.delta_items += 1
+            op.delta_rules += len(self._rules)
+            self._finish("refresh", op, started)
         return self.fired_map(), op
 
     # -- reads --------------------------------------------------------------------
@@ -492,10 +507,15 @@ class IncrementalExecutor:
     def _finish(
         self, op_name: str, op: ExecutionStats, started: float
     ) -> ExecutionStats:
-        op.wall_time = time.perf_counter() - started
+        op.wall_time = self._clock() - started
         op.match_time = max(0.0, op.wall_time - op.prepare_time)
-        self.stats.merge(op)
-        self.stats.wall_time += op.wall_time  # merge() sums shard CPU, not wall
+        # Serial composition: each delta op ran after the previous one, so
+        # the lifetime ledger's wall clock is the sum of op walls.
+        self.stats.merge(op, wall="sum")
         if self.monitor is not None:
             self.monitor.record(op_name, op)
+        obs = self.observability
+        if obs.enabled:
+            obs.observe_execution(op, executor="incremental")
+            obs.metrics.counter("incremental_ops_total", op=op_name).inc()
         return op

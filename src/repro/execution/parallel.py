@@ -51,6 +51,7 @@ from repro.core.prepared import ItemLike, PreparedItem, prepare
 from repro.core.rule import Rule
 from repro.core.serialize import rules_from_dicts, rules_to_dicts
 from repro.execution.executor import ExecutionStats, IndexedExecutor
+from repro.observability import Observability, ensure_observability
 from repro.execution.resilience import (
     CorruptShardOutput,
     DegradedRunError,
@@ -72,6 +73,12 @@ class ShardReport:
     their retry budget (their items are absent from the fired map and
     listed on the run result). ``worker_id`` is the worker that produced
     the accepted output (-1 for skipped shards).
+
+    ``wall_time`` / ``prepare_time`` / ``match_time`` are the *accepted
+    attempt's* worker-side timings — failed attempts never contribute, so
+    summing these across reports reconstructs exactly what landed in the
+    merged stats (the regression tests in ``tests/test_timing_stats.py``
+    hold the driver to that).
     """
 
     shard_id: int
@@ -82,6 +89,9 @@ class ShardReport:
     retries: int = 0
     status: str = "ok"
     worker_id: int = -1
+    wall_time: float = 0.0
+    prepare_time: float = 0.0
+    match_time: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -97,6 +107,14 @@ class PartitionedRunResult:
     whose shard did not, and ``fault_events`` records each failure the
     driver observed and how it responded. ``fired`` is never silently
     partial — ``degraded`` says so.
+
+    Timing contract: ``stats.wall_time`` is the driver's elapsed time for
+    the whole run (retries, backoff, and failed attempts included);
+    ``stats.prepare_time`` is ``driver_prepare_time`` (tokenizing the
+    shards once) plus the accepted attempts' shard-side prepare times, and
+    ``stats.match_time`` sums the accepted attempts' match times — both
+    additive CPU totals that count each shard's work exactly once no
+    matter how many times it was retried.
     """
 
     fired: Dict[str, List[str]]
@@ -105,6 +123,7 @@ class PartitionedRunResult:
     skipped_shards: List[int] = field(default_factory=list)
     skipped_item_ids: List[str] = field(default_factory=list)
     fault_events: List[FaultEvent] = field(default_factory=list)
+    driver_prepare_time: float = 0.0
 
     @property
     def degraded(self) -> bool:
@@ -134,11 +153,17 @@ def _run_shard(
     rule_payloads: List[Dict[str, Any]],
     item_payloads: List[Dict[str, Any]],
     token_frequency: Optional[Dict[str, int]],
+    clock: Optional[Callable[[], float]] = None,
 ) -> Tuple[int, Dict[str, List[str]], ExecutionStats]:
-    """Worker entry point: rebuild rules and prepared items, execute."""
+    """Worker entry point: rebuild rules and prepared items, execute.
+
+    ``clock`` is only threaded through for in-process shards (process-pool
+    workers keep the default monotonic clock — an arbitrary callable is
+    not guaranteed to be picklable).
+    """
     rules = rules_from_dicts(rule_payloads)
     shard_items = [PreparedItem.from_payload(payload) for payload in item_payloads]
-    executor = IndexedExecutor(rules, token_frequency=token_frequency)
+    executor = IndexedExecutor(rules, token_frequency=token_frequency, clock=clock)
     fired, stats = executor.run(shard_items)
     return shard_id, fired, stats
 
@@ -170,6 +195,8 @@ class PartitionedExecutor:
         fault_plan: Optional[Any] = None,
         sleep: Optional[Callable[[float], None]] = None,
         retry_seed: int = 0,
+        observability: Optional[Observability] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -184,6 +211,8 @@ class PartitionedExecutor:
         self.fault_plan = fault_plan
         self._sleep = sleep if sleep is not None else time.sleep
         self.retry_seed = retry_seed
+        self.observability = ensure_observability(observability)
+        self._clock = clock if clock is not None else time.perf_counter
         self._known_rule_ids = frozenset(
             payload["rule_id"] for payload in self.rule_payloads
         )
@@ -192,14 +221,14 @@ class PartitionedExecutor:
         self, items: Sequence[ItemLike]
     ) -> Tuple[List[List[Dict[str, Any]]], List[List[str]], float]:
         """Round-robin shards as prepared payloads, their ids, prepare time."""
-        started = time.perf_counter()
+        started = self._clock()
         shards: List[List[Dict[str, Any]]] = [[] for _ in range(self.n_workers)]
         shard_ids: List[List[str]] = [[] for _ in range(self.n_workers)]
         for index, item in enumerate(items):
             prepared = prepare(item)
             shards[index % self.n_workers].append(prepared.to_payload())
             shard_ids[index % self.n_workers].append(prepared.item_id)
-        return shards, shard_ids, time.perf_counter() - started
+        return shards, shard_ids, self._clock() - started
 
     def _worker_for(self, shard_id: int, attempt: int) -> int:
         """Rotate a retried shard onto the next worker (re-dispatch)."""
@@ -218,6 +247,7 @@ class PartitionedExecutor:
         pool: Optional[ProcessPoolExecutor],
     ) -> Dict[int, Any]:
         """Run every pending shard once; outcome is a tuple or a failure."""
+        obs = self.observability
         outcomes: Dict[int, Any] = {}
         submitted: List[Tuple[int, Any, Any, int]] = []
         for shard_id in sorted(pending):
@@ -229,9 +259,13 @@ class PartitionedExecutor:
                 continue
             if pool is None:
                 try:
-                    output = _run_shard(
-                        shard_id, self.rule_payloads, shards[shard_id], self.token_frequency
-                    )
+                    with obs.span(
+                        "shard", shard=shard_id, worker=worker, attempt=attempt
+                    ):
+                        output = _run_shard(
+                            shard_id, self.rule_payloads, shards[shard_id],
+                            self.token_frequency, clock=self._clock,
+                        )
                 except Exception as exc:  # a real worker fault, not injected
                     outcomes[shard_id] = WorkerCrash(f"shard {shard_id} raised: {exc!r}")
                     continue
@@ -245,22 +279,26 @@ class PartitionedExecutor:
                     self.token_frequency,
                 )
                 submitted.append((shard_id, future, spec, worker))
-        for shard_id, future, spec, worker in submitted:
-            try:
-                output = future.result(timeout=self.shard_timeout)
-            except FutureTimeoutError:
-                future.cancel()
-                outcomes[shard_id] = WorkerHang(
-                    f"shard {shard_id} exceeded {self.shard_timeout}s"
-                )
-                continue
-            except Exception as exc:
-                outcomes[shard_id] = WorkerCrash(f"shard {shard_id} raised: {exc!r}")
-                continue
-            if spec is not None:
-                self.fault_plan.record(spec, worker, shard_id, attempt)
-                output = spec.corrupt_output(output)
-            outcomes[shard_id] = output
+        if submitted:
+            with obs.span("gather", shards=len(submitted), attempt=attempt):
+                for shard_id, future, spec, worker in submitted:
+                    try:
+                        output = future.result(timeout=self.shard_timeout)
+                    except FutureTimeoutError:
+                        future.cancel()
+                        outcomes[shard_id] = WorkerHang(
+                            f"shard {shard_id} exceeded {self.shard_timeout}s"
+                        )
+                        continue
+                    except Exception as exc:
+                        outcomes[shard_id] = WorkerCrash(
+                            f"shard {shard_id} raised: {exc!r}"
+                        )
+                        continue
+                    if spec is not None:
+                        self.fault_plan.record(spec, worker, shard_id, attempt)
+                        output = spec.corrupt_output(output)
+                    outcomes[shard_id] = output
         return outcomes
 
     @staticmethod
@@ -272,108 +310,145 @@ class PartitionedExecutor:
         return "crash"
 
     def run_detailed(self, items: Sequence[ItemLike]) -> PartitionedRunResult:
-        """Execute with retry/re-dispatch; degrade (never raise) on faults."""
-        started = time.perf_counter()
-        shards, shard_item_ids, driver_prepare_time = self._shards(items)
-        policy = self.retry_policy
-        rng = random.Random(self.retry_seed)
-        events: List[FaultEvent] = []
-        accepted: Dict[int, Tuple[Dict[str, List[str]], ExecutionStats, int, int]] = {}
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            if self.use_processes:
-                pool = ProcessPoolExecutor(max_workers=self.n_workers)
-            pending = list(range(self.n_workers))
-            attempt = 0
-            while pending and attempt < policy.max_attempts:
-                outcomes = self._dispatch_round(pending, attempt, shards, pool)
-                failed: List[int] = []
-                for shard_id in sorted(outcomes):
-                    outcome = outcomes[shard_id]
-                    worker = self._worker_for(shard_id, attempt)
-                    if not isinstance(outcome, ShardFailure):
-                        _, fired, stats = outcome
-                        try:
-                            fired = validate_shard_output(
-                                fired, stats, shard_item_ids[shard_id], self._known_rule_ids
-                            )
-                        except CorruptShardOutput as exc:
-                            outcome = exc
-                        else:
-                            accepted[shard_id] = (fired, stats, attempt, worker)
-                            continue
-                    retrying = attempt + 1 < policy.max_attempts
-                    backoff = (
-                        policy.backoff_delay(attempt, rng) if retrying else 0.0
-                    )
-                    events.append(
-                        FaultEvent(
-                            shard_id=shard_id,
-                            worker_id=worker,
-                            attempt=attempt,
-                            kind=self._failure_kind(outcome),
-                            action="retry" if retrying else "skip",
-                            error=str(outcome),
-                            backoff=backoff,
-                        )
-                    )
-                    failed.append(shard_id)
-                if failed and attempt + 1 < policy.max_attempts:
-                    delay = max(
-                        event.backoff for event in events[-len(failed):]
-                    )
-                    if delay > 0:
-                        self._sleep(delay)
-                pending = failed
-                attempt += 1
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False)
+        """Execute with retry/re-dispatch; degrade (never raise) on faults.
 
-        merged: Dict[str, List[str]] = {}
-        total = ExecutionStats()
-        reports: List[ShardReport] = []
-        skipped_shards: List[int] = []
-        skipped_item_ids: List[str] = []
-        for shard_id in range(self.n_workers):
-            if shard_id in accepted:
-                fired, shard_stats, final_attempt, worker = accepted[shard_id]
-                merged.update(fired)
-                total.merge(shard_stats)
-                total.retries += final_attempt
-                reports.append(
-                    ShardReport(
-                        shard_id,
-                        shard_stats.items,
-                        shard_stats.rule_evaluations,
-                        shard_stats.matches,
-                        attempts=final_attempt + 1,
-                        retries=final_attempt,
-                        status="ok",
-                        worker_id=worker,
-                    )
-                )
-            else:
-                item_ids = shard_item_ids[shard_id]
-                skipped_shards.append(shard_id)
-                skipped_item_ids.extend(item_ids)
-                total.retries += max(0, policy.max_attempts - 1)
-                total.skipped_items += len(item_ids)
-                total.skipped_item_ids.extend(item_ids)
-                reports.append(
-                    ShardReport(
-                        shard_id,
-                        len(item_ids),
-                        0,
-                        0,
-                        attempts=policy.max_attempts,
-                        retries=policy.max_attempts - 1,
-                        status="skipped",
-                        worker_id=-1,
-                    )
-                )
-        total.prepare_time += driver_prepare_time
-        total.wall_time = time.perf_counter() - started
+        Timing discipline (see the satellite audit in
+        ``tests/test_timing_stats.py``): only the *accepted* attempt of
+        each shard lands in the merged ``prepare_time`` / ``match_time`` —
+        a retried shard's failed attempts cost driver wall-clock (which
+        ``wall_time`` reports truthfully) but are never folded into the
+        additive CPU totals, so retries cannot double-count shard work.
+        """
+        obs = self.observability
+        clock = self._clock
+        with obs.span(
+            "exec.partitioned.run", workers=self.n_workers, items=len(items)
+        ) as run_span:
+            started = clock()
+            with obs.span("prepare"):
+                shards, shard_item_ids, driver_prepare_time = self._shards(items)
+            policy = self.retry_policy
+            rng = random.Random(self.retry_seed)
+            events: List[FaultEvent] = []
+            accepted: Dict[
+                int, Tuple[Dict[str, List[str]], ExecutionStats, int, int]
+            ] = {}
+            pool: Optional[ProcessPoolExecutor] = None
+            try:
+                if self.use_processes:
+                    pool = ProcessPoolExecutor(max_workers=self.n_workers)
+                pending = list(range(self.n_workers))
+                attempt = 0
+                while pending and attempt < policy.max_attempts:
+                    with obs.span("round", attempt=attempt, pending=len(pending)):
+                        outcomes = self._dispatch_round(pending, attempt, shards, pool)
+                    failed: List[int] = []
+                    for shard_id in sorted(outcomes):
+                        outcome = outcomes[shard_id]
+                        worker = self._worker_for(shard_id, attempt)
+                        if not isinstance(outcome, ShardFailure):
+                            _, fired, stats = outcome
+                            try:
+                                fired = validate_shard_output(
+                                    fired, stats, shard_item_ids[shard_id],
+                                    self._known_rule_ids,
+                                )
+                            except CorruptShardOutput as exc:
+                                outcome = exc
+                            else:
+                                accepted[shard_id] = (fired, stats, attempt, worker)
+                                continue
+                        retrying = attempt + 1 < policy.max_attempts
+                        backoff = (
+                            policy.backoff_delay(attempt, rng) if retrying else 0.0
+                        )
+                        events.append(
+                            FaultEvent(
+                                shard_id=shard_id,
+                                worker_id=worker,
+                                attempt=attempt,
+                                kind=self._failure_kind(outcome),
+                                action="retry" if retrying else "skip",
+                                error=str(outcome),
+                                backoff=backoff,
+                            )
+                        )
+                        failed.append(shard_id)
+                    if failed and attempt + 1 < policy.max_attempts:
+                        delay = max(
+                            event.backoff for event in events[-len(failed):]
+                        )
+                        if delay > 0:
+                            with obs.span("backoff", delay=round(delay, 6)):
+                                self._sleep(delay)
+                    pending = failed
+                    attempt += 1
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=False)
+
+            merged: Dict[str, List[str]] = {}
+            total = ExecutionStats()
+            reports: List[ShardReport] = []
+            skipped_shards: List[int] = []
+            skipped_item_ids: List[str] = []
+            with obs.span("merge", accepted=len(accepted)):
+                for shard_id in range(self.n_workers):
+                    if shard_id in accepted:
+                        fired, shard_stats, final_attempt, worker = accepted[shard_id]
+                        merged.update(fired)
+                        # Shard merging: additive counters only; the driver
+                        # owns wall_time (set below from its own clock).
+                        total.merge(shard_stats, wall="keep")
+                        total.retries += final_attempt
+                        reports.append(
+                            ShardReport(
+                                shard_id,
+                                shard_stats.items,
+                                shard_stats.rule_evaluations,
+                                shard_stats.matches,
+                                attempts=final_attempt + 1,
+                                retries=final_attempt,
+                                status="ok",
+                                worker_id=worker,
+                                wall_time=shard_stats.wall_time,
+                                prepare_time=shard_stats.prepare_time,
+                                match_time=shard_stats.match_time,
+                            )
+                        )
+                    else:
+                        item_ids = shard_item_ids[shard_id]
+                        skipped_shards.append(shard_id)
+                        skipped_item_ids.extend(item_ids)
+                        total.retries += max(0, policy.max_attempts - 1)
+                        total.skipped_items += len(item_ids)
+                        total.skipped_item_ids.extend(item_ids)
+                        reports.append(
+                            ShardReport(
+                                shard_id,
+                                len(item_ids),
+                                0,
+                                0,
+                                attempts=policy.max_attempts,
+                                retries=policy.max_attempts - 1,
+                                status="skipped",
+                                worker_id=-1,
+                            )
+                        )
+            total.prepare_time += driver_prepare_time
+            total.wall_time = clock() - started
+            run_span.set_attribute("rule_evaluations", total.rule_evaluations)
+            run_span.set_attribute("matches", total.matches)
+            run_span.set_attribute("retries", total.retries)
+            run_span.set_attribute("skipped_shards", len(skipped_shards))
+        obs.observe_execution(total, executor="partitioned")
+        obs.observe_fired(merged)
+        if obs.enabled:
+            for event in events:
+                obs.metrics.counter(
+                    "exec_fault_events_total", kind=event.kind, action=event.action
+                ).inc()
+            obs.metrics.counter("exec_shards_skipped_total").inc(len(skipped_shards))
         return PartitionedRunResult(
             fired=merged,
             stats=total,
@@ -381,6 +456,7 @@ class PartitionedExecutor:
             skipped_shards=skipped_shards,
             skipped_item_ids=skipped_item_ids,
             fault_events=events,
+            driver_prepare_time=driver_prepare_time,
         )
 
     def run(

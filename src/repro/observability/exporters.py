@@ -1,0 +1,172 @@
+"""Trace and metrics exporters: JSON-lines, plain text, Chrome trace.
+
+Three consumers, three formats:
+
+* **JSON-lines** (:func:`write_trace_jsonl`) — one span per line, for
+  grep/jq-style post-hoc analysis and for CI artifacts;
+* **plain text** (:func:`render_report`) — the CLI's human view: the span
+  tree with durations, followed by the metrics registry;
+* **Chrome trace** (:func:`write_chrome_trace`) — the
+  ``chrome://tracing`` / Perfetto "trace event" JSON format (complete
+  ``"ph": "X"`` events, microsecond timestamps), so one Chimera run can
+  be inspected on a real timeline UI.
+
+All exporters work from finished :class:`~repro.observability.tracer.Span`
+lists and never mutate them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import IO, Dict, List, Optional, Sequence, Union
+
+from repro.observability.tracer import Span, Tracer
+
+PathOrHandle = Union[str, IO[str]]
+
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    """The canonical JSON shape of one finished span."""
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "attributes": dict(span.attributes),
+    }
+
+
+def _open_for_write(target: PathOrHandle):
+    if isinstance(target, str):
+        return open(target, "w"), True
+    return target, False
+
+
+def write_trace_jsonl(spans: Sequence[Span], target: PathOrHandle) -> int:
+    """Write one span per line (end order); returns the span count."""
+    handle, owned = _open_for_write(target)
+    try:
+        for span in spans:
+            handle.write(json.dumps(span_to_dict(span), sort_keys=True) + "\n")
+    finally:
+        if owned:
+            handle.close()
+    return len(spans)
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> List[Dict[str, object]]:
+    """Spans as Chrome "complete" (``ph: X``) trace events.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the timeline starts at zero regardless of which monotonic clock
+    produced the spans. Depth in the span tree is mapped to the ``tid``
+    lane, which renders nested phases as stacked rows.
+    """
+    if not spans:
+        return []
+    base = min(span.start for span in spans)
+    depth: Dict[int, int] = {}
+    by_id = {span.span_id: span for span in spans}
+
+    def depth_of(span: Span) -> int:
+        if span.span_id in depth:
+            return depth[span.span_id]
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        level = 0 if parent is None else depth_of(parent) + 1
+        depth[span.span_id] = level
+        return level
+
+    events = []
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round((span.start - base) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 1,
+                "tid": depth_of(span),
+                "args": {
+                    key: value
+                    for key, value in span.attributes.items()
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(spans: Sequence[Span], target: PathOrHandle) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file; returns event count.
+
+    The output is the object form (``{"traceEvents": [...]}``) with a
+    display-unit hint, which both the legacy Chrome UI and Perfetto accept.
+    """
+    events = chrome_trace_events(spans)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.observability"},
+    }
+    handle, owned = _open_for_write(target)
+    try:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+    return len(events)
+
+
+def _format_attributes(span: Span) -> str:
+    if not span.attributes:
+        return ""
+    inner = ", ".join(
+        f"{key}={value}" for key, value in sorted(span.attributes.items())
+    )
+    return f"  [{inner}]"
+
+
+def render_span_tree(spans: Sequence[Span]) -> List[str]:
+    """The span forest as indented text rows (chronological within level)."""
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start, s.span_id))
+    lines: List[str] = []
+
+    def walk(parent_id: Optional[int], indent: int) -> None:
+        for span in children.get(parent_id, []):
+            lines.append(
+                f"{'  ' * indent}{span.name:<28} {span.duration * 1000:10.3f} ms"
+                f"{_format_attributes(span)}"
+            )
+            walk(span.span_id, indent + 1)
+
+    walk(None, 0)
+    return lines
+
+
+def render_report(
+    tracer: Optional[Tracer] = None,
+    metrics=None,
+    title: str = "observability report",
+) -> str:
+    """The CLI's plain-text dump: span tree plus metric rows."""
+    lines: List[str] = [f"=== {title} ==="]
+    if tracer is not None and tracer.spans:
+        lines.append("")
+        lines.append(f"trace ({len(tracer.spans)} spans):")
+        lines.extend(render_span_tree(tracer.spans))
+    if metrics is not None:
+        metric_lines = metrics.report_lines()
+        if metric_lines:
+            lines.append("")
+            lines.append(f"metrics ({len(metric_lines)} instruments):")
+            lines.extend(metric_lines)
+    if len(lines) == 1:
+        lines.append("(nothing recorded)")
+    return "\n".join(lines)

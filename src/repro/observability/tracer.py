@@ -1,0 +1,196 @@
+"""Nested-span tracing with an injectable monotonic clock.
+
+The paper's §4 operational challenge — "monitor the rule system ... which
+rules fire, which stages degrade, where time goes" — needs one shared
+notion of *where time went* across executors, pipeline stages, and the
+analyst tools. This module is that shared clock discipline:
+
+* :class:`Span` — one named, timed region with attributes and a parent
+  link, so traces form a tree (a run → its prepare/match phases → its
+  shard attempts);
+* :class:`Tracer` — produces spans via the ``span(name, **attrs)``
+  context manager, keeps the active stack, and collects finished spans
+  in end order. The clock is injectable (default
+  :func:`time.perf_counter`); tests pass a
+  :class:`repro.utils.clock.TickClock` so every duration is a
+  deterministic function of the number of clock reads;
+* ``on_span_end`` — profiling hooks: callbacks invoked with each span as
+  it closes, so benchmarks and the fault harness can assert on timing
+  *structure* without parsing an export.
+
+A disabled tracer (``Tracer(enabled=False)``, or the shared
+:data:`NULL_TRACER`) reuses a single no-op context manager and records
+nothing, so instrumented code paths cost almost nothing when nobody is
+watching — the property the ``bench_obs_overhead`` benchmark enforces.
+
+Tracing is strictly observational: no instrumented component reads a
+span to make a decision, which is why fired maps are byte-identical with
+tracing on or off (see ``tests/test_observability_properties.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed region of a trace.
+
+    ``start`` / ``end`` are monotonic-clock readings (seconds); ``end`` is
+    None while the span is open. ``parent_id`` links the tree (None for
+    roots). Attributes are free-form key/values recorded at open time or
+    via :meth:`set_attribute` while the span is open.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set_attribute(self, key: str, value: object) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def __repr__(self) -> str:
+        state = f"{self.duration:.6f}s" if self.finished else "open"
+        return f"<Span {self.name} id={self.span_id} {state}>"
+
+
+class _NullSpan:
+    """The reusable no-op span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    name = ""
+    span_id = -1
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    finished = True
+    attributes: Dict[str, object] = {}
+
+    def set_attribute(self, key: str, value: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces nested :class:`Span` trees through a context manager.
+
+    >>> from repro.utils.clock import TickClock
+    >>> tracer = Tracer(clock=TickClock(step=0.5))
+    >>> with tracer.span("run", items=2) as run:
+    ...     with tracer.span("prepare"):
+    ...         pass
+    >>> [(s.name, s.duration) for s in tracer.spans]
+    [('prepare', 0.5), ('run', 1.5)]
+    >>> tracer.spans[0].parent_id == run.span_id
+    True
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+    ):
+        self.clock: Callable[[], float] = clock if clock is not None else time.perf_counter
+        self.enabled = enabled
+        self.spans: List[Span] = []  # finished spans, in end order
+        self.on_span_end: List[Callable[[Span], None]] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # -- span production ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a child of the current span; closes (and records) on exit.
+
+        The span is recorded even when the body raises — a trace of a
+        degraded run must show the stage that blew up, not omit it — with
+        an ``error`` attribute naming the exception type.
+        """
+        if not self.enabled:
+            yield _NULL_SPAN  # type: ignore[misc]
+            return
+        span = self._open(name, attributes)
+        try:
+            yield span
+        except BaseException as exc:
+            span.set_attribute("error", type(exc).__name__)
+            raise
+        finally:
+            self._close(span)
+
+    def _open(self, name: str, attributes: Dict[str, object]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start=self.clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock()
+        # Close any abandoned children first (defensive: a generator-based
+        # caller that never exited an inner span must not corrupt the stack).
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.spans.append(span)
+        for callback in self.on_span_end:
+            callback(span)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None outside any ``span()`` body."""
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> List[Span]:
+        """Finished spans with no parent, in end order."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Finished direct children of ``span``, in end order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> List[Span]:
+        """Finished spans with this exact name, in end order."""
+        return [span for span in self.spans if span.name == name]
+
+    def total_time(self, name: str) -> float:
+        """Summed duration of every finished span with this name."""
+        return sum(span.duration for span in self.find(name))
+
+    def clear(self) -> None:
+        """Drop finished spans (open spans and callbacks are kept)."""
+        self.spans.clear()
+
+
+#: Shared disabled tracer: record-nothing default for un-observed runs.
+NULL_TRACER = Tracer(enabled=False)

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.generator import LabeledTitle
 from repro.core.rule import SequenceRule
+from repro.observability import Observability, ensure_observability
 from repro.rulegen.confidence import confidence_score
 from repro.rulegen.select import greedy_biased_select
 from repro.rulegen.seqmine import mine_frequent_sequences
@@ -55,6 +56,7 @@ class RuleGenerator:
         q: int = 500,
         alpha: float = 0.7,
         require_clean: bool = True,
+        observability: Optional[Observability] = None,
     ):
         if not 1 <= min_length <= max_length:
             raise ValueError(
@@ -66,71 +68,94 @@ class RuleGenerator:
         self.q = q
         self.alpha = alpha
         self.require_clean = require_clean
+        self.observability = ensure_observability(observability)
 
     def generate(self, training: Sequence[LabeledTitle]) -> GenerationResult:
         """Run the full pipeline over ``training``."""
         if not training:
             raise ValueError("cannot generate rules from empty training data")
+        obs = self.observability
         result = GenerationResult()
 
-        tokenized: List[List[str]] = [tokenize(example.title) for example in training]
-        labels: List[str] = [example.label for example in training]
-        rows_by_type: Dict[str, List[int]] = defaultdict(list)
-        for row, label in enumerate(labels):
-            rows_by_type[label].append(row)
+        with obs.span("rulegen.generate", examples=len(training)) as gen_span:
+            with obs.span("rulegen.tokenize"):
+                tokenized: List[List[str]] = [
+                    tokenize(example.title) for example in training
+                ]
+            labels: List[str] = [example.label for example in training]
+            rows_by_type: Dict[str, List[int]] = defaultdict(list)
+            for row, label in enumerate(labels):
+                rows_by_type[label].append(row)
 
-        # Global token -> rows index, for the cleanliness check.
-        postings: Dict[str, Set[int]] = defaultdict(set)
-        for row, tokens in enumerate(tokenized):
-            for token in tokens:
-                postings[token].add(row)
+            # Global token -> rows index, for the cleanliness check.
+            postings: Dict[str, Set[int]] = defaultdict(set)
+            for row, tokens in enumerate(tokenized):
+                for token in tokens:
+                    postings[token].add(row)
 
-        for type_name in sorted(rows_by_type):
-            type_rows = rows_by_type[type_name]
-            type_token_lists = [tokenized[row] for row in type_rows]
-            frequent = mine_frequent_sequences(
-                type_token_lists, self.min_support, self.max_length
+            for type_name in sorted(rows_by_type):
+                with obs.span("rulegen.type", target_type=type_name) as type_span:
+                    type_rows = rows_by_type[type_name]
+                    type_token_lists = [tokenized[row] for row in type_rows]
+                    frequent = mine_frequent_sequences(
+                        type_token_lists, self.min_support, self.max_length
+                    )
+                    candidates = {
+                        seq: count
+                        for seq, count in frequent.items()
+                        if self.min_length <= len(seq) <= self.max_length
+                    }
+                    result.n_mined += len(candidates)
+                    type_span.set_attribute("mined", len(candidates))
+                    if not candidates:
+                        continue
+
+                    rules: List[SequenceRule] = []
+                    coverage: Dict[str, Set[int]] = {}
+                    for seq in sorted(candidates):
+                        count = candidates[seq]
+                        support = count / len(type_rows)
+                        global_rows = self._global_coverage(seq, postings, tokenized)
+                        if self.require_clean and any(
+                            labels[row] != type_name for row in global_rows
+                        ):
+                            continue
+                        rule = SequenceRule(
+                            seq,
+                            type_name,
+                            support=support,
+                            confidence=confidence_score(seq, type_name, support),
+                            provenance="rulegen",
+                            author="rulegen",
+                        )
+                        rules.append(rule)
+                        # Selection optimizes coverage of this type's titles.
+                        coverage[rule.rule_id] = {
+                            row for row in global_rows if labels[row] == type_name
+                        }
+                    result.n_clean += len(rules)
+                    type_span.set_attribute("clean", len(rules))
+                    if not rules:
+                        continue
+                    high, low = greedy_biased_select(
+                        rules, coverage, self.q, self.alpha
+                    )
+                    if high or low:
+                        result.types_covered += 1
+                    type_span.set_attribute("selected", len(high) + len(low))
+                    result.high_confidence.extend(high)
+                    result.low_confidence.extend(low)
+            gen_span.set_attribute("mined", result.n_mined)
+            gen_span.set_attribute("selected", result.n_selected)
+        if obs.enabled:
+            obs.metrics.counter("rulegen_mined_total").inc(result.n_mined)
+            obs.metrics.counter("rulegen_clean_total").inc(result.n_clean)
+            obs.metrics.counter("rulegen_selected_total", confidence="high").inc(
+                len(result.high_confidence)
             )
-            candidates = {
-                seq: count
-                for seq, count in frequent.items()
-                if self.min_length <= len(seq) <= self.max_length
-            }
-            result.n_mined += len(candidates)
-            if not candidates:
-                continue
-
-            rules: List[SequenceRule] = []
-            coverage: Dict[str, Set[int]] = {}
-            for seq in sorted(candidates):
-                count = candidates[seq]
-                support = count / len(type_rows)
-                global_rows = self._global_coverage(seq, postings, tokenized)
-                if self.require_clean and any(
-                    labels[row] != type_name for row in global_rows
-                ):
-                    continue
-                rule = SequenceRule(
-                    seq,
-                    type_name,
-                    support=support,
-                    confidence=confidence_score(seq, type_name, support),
-                    provenance="rulegen",
-                    author="rulegen",
-                )
-                rules.append(rule)
-                # Selection optimizes coverage of this type's titles.
-                coverage[rule.rule_id] = {
-                    row for row in global_rows if labels[row] == type_name
-                }
-            result.n_clean += len(rules)
-            if not rules:
-                continue
-            high, low = greedy_biased_select(rules, coverage, self.q, self.alpha)
-            if high or low:
-                result.types_covered += 1
-            result.high_confidence.extend(high)
-            result.low_confidence.extend(low)
+            obs.metrics.counter("rulegen_selected_total", confidence="low").inc(
+                len(result.low_confidence)
+            )
         return result
 
     @staticmethod

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.analyst.analyst import SimulatedAnalyst
+from repro.observability import Observability, ensure_observability
 from repro.synonym.tool import SynonymTool
 
 
@@ -62,6 +63,7 @@ class DiscoverySession:
         max_iterations: int = 25,
         enough: Optional[int] = None,
         patience: int = 3,
+        observability: Optional[Observability] = None,
     ):
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
@@ -74,38 +76,60 @@ class DiscoverySession:
         self.max_iterations = max_iterations
         self.enough = enough
         self.patience = patience
+        self.observability = ensure_observability(observability)
 
     def run(self, corpus_titles: int = 0) -> DiscoveryReport:
+        obs = self.observability
         report = DiscoveryReport(
             rule_source=self.tool.spec.source,
             target_type=self.tool.spec.target_type,
             corpus_titles=corpus_titles,
         )
-        dry_pages = 0
-        for _ in range(self.max_iterations):
-            page = self.tool.next_page(self.top_k)
-            if not page:
-                break
-            report.iterations += 1
-            accepted: List[str] = []
-            rejected: List[str] = []
-            for candidate in page:
-                report.candidates_reviewed += 1
-                verdict = self.analyst.judge_synonym(
-                    self.tool.spec.target_type, self.slot, candidate.phrase
-                )
-                if verdict:
-                    accepted.append(candidate.phrase)
-                else:
-                    rejected.append(candidate.phrase)
-            self.tool.feedback(accepted, rejected)
-            if accepted and not report.synonyms_found:
-                report.first_find_iteration = report.iterations
-            report.synonyms_found.extend(accepted)
-            dry_pages = dry_pages + 1 if not accepted else 0
-            if self.enough is not None and len(report.synonyms_found) >= self.enough:
-                break
-            if dry_pages >= self.patience:
-                break
-        report.expanded_pattern = self.tool.expanded_rule_pattern()
+        with obs.span(
+            "synonym.session", target_type=self.tool.spec.target_type
+        ) as session_span:
+            dry_pages = 0
+            for _ in range(self.max_iterations):
+                page = self.tool.next_page(self.top_k)
+                if not page:
+                    break
+                report.iterations += 1
+                accepted: List[str] = []
+                rejected: List[str] = []
+                with obs.span(
+                    "synonym.page", page=report.iterations, candidates=len(page)
+                ) as page_span:
+                    for candidate in page:
+                        report.candidates_reviewed += 1
+                        verdict = self.analyst.judge_synonym(
+                            self.tool.spec.target_type, self.slot, candidate.phrase
+                        )
+                        if verdict:
+                            accepted.append(candidate.phrase)
+                        else:
+                            rejected.append(candidate.phrase)
+                    self.tool.feedback(accepted, rejected)
+                    page_span.set_attribute("accepted", len(accepted))
+                if accepted and not report.synonyms_found:
+                    report.first_find_iteration = report.iterations
+                report.synonyms_found.extend(accepted)
+                dry_pages = dry_pages + 1 if not accepted else 0
+                if (
+                    self.enough is not None
+                    and len(report.synonyms_found) >= self.enough
+                ):
+                    break
+                if dry_pages >= self.patience:
+                    break
+            report.expanded_pattern = self.tool.expanded_rule_pattern()
+            session_span.set_attribute("iterations", report.iterations)
+            session_span.set_attribute("synonyms_found", len(report.synonyms_found))
+        if obs.enabled:
+            obs.metrics.counter("synonym_sessions_total").inc()
+            obs.metrics.counter("synonym_candidates_reviewed_total").inc(
+                report.candidates_reviewed
+            )
+            obs.metrics.counter("synonym_accepted_total").inc(
+                len(report.synonyms_found)
+            )
         return report

@@ -1,9 +1,15 @@
-"""Deterministic simulation clock.
+"""Deterministic simulation clocks.
 
 Industrial rule systems are "never ending" (section 2.2): batches arrive over
 days, rules carry creation timestamps, analysts have a daily rule-writing
 throughput. All of that needs a notion of time that is reproducible in tests,
 so the library never reads the wall clock; it advances a :class:`SimClock`.
+
+The observability layer needs a second, finer notion of time: a *monotonic
+seconds* clock for span and stats timing. Production code defaults to
+:func:`time.perf_counter`; tests and benchmarks inject a :class:`TickClock`
+so every measured duration is a deterministic function of how many times the
+clock was read.
 """
 
 from __future__ import annotations
@@ -47,3 +53,44 @@ class SimClock:
     def history(self) -> list:
         """Labelled timestamps recorded so far, as (time, label) pairs."""
         return list(self._history)
+
+
+class TickClock:
+    """A deterministic stand-in for :func:`time.perf_counter`.
+
+    Every *read* advances the clock by ``step`` seconds and returns the
+    time *before* the advance, so two consecutive reads are exactly one
+    step apart. Measured durations become "number of clock reads × step"
+    — fully reproducible, which is what the timing regression tests and
+    the tracer's fake-clock mode rely on.
+
+    >>> clock = TickClock(step=0.5)
+    >>> start = clock()
+    >>> clock() - start
+    0.5
+    >>> clock.advance(10.0)
+    >>> clock() - start
+    11.0
+
+    ``advance`` injects extra elapsed time between reads (a simulated
+    stall); negative advances are rejected to keep the clock monotonic.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.001):
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        self.now = start
+        self.step = step
+        self.reads = 0
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.step
+        self.reads += 1
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Insert ``seconds`` of simulated elapsed time before the next read."""
+        if seconds < 0:
+            raise ValueError(f"clock cannot move backwards (delta={seconds})")
+        self.now += seconds

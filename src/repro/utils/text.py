@@ -32,6 +32,13 @@ _MULTISPACE = re.compile(r"\s+")
 # tokenization are memoized behind bounded LRU caches. The caches hold
 # immutable values (strings / tuples); the public list-returning API copies
 # on the way out so callers can keep mutating their token lists.
+#
+# The bound matters operationally: a never-ending incremental session sees
+# an unbounded stream of distinct titles, and an unbounded cache would be a
+# slow memory leak with no signal. ``cache_stats`` (surfaced as gauges via
+# ``MetricsRegistry.observe_text_cache``) is that signal — a cache pinned
+# at ``maxsize`` with a falling hit rate means the live vocabulary outgrew
+# the bound.
 _TEXT_CACHE_SIZE = 32768
 
 
@@ -70,6 +77,39 @@ def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
     ['men', 's', 'relaxed', 'fit', 'denim', 'jeans', '2', 'pack']
     """
     return list(tokenize_cached(text, drop_stopwords))
+
+
+def cache_stats() -> dict:
+    """Hit/miss/occupancy stats of the bounded text caches, by function.
+
+    The values mirror :func:`functools.lru_cache`'s ``cache_info`` plus a
+    derived ``hit_rate``; keys are stable so the metrics layer can map
+    them straight onto gauges (``text_cache_hits{fn=tokenize}`` etc.).
+
+    >>> clear_caches()
+    >>> _ = tokenize("Blue Jeans"); _ = tokenize("Blue Jeans")
+    >>> info = cache_stats()["tokenize"]
+    >>> (info["hits"], info["misses"], info["size"], info["maxsize"])
+    (1, 1, 1, 32768)
+    """
+    stats = {}
+    for name, fn in (("tokenize", tokenize_cached), ("normalize", normalize_text)):
+        info = fn.cache_info()
+        lookups = info.hits + info.misses
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "hit_rate": info.hits / lookups if lookups else 0.0,
+            "size": info.currsize,
+            "maxsize": info.maxsize,
+        }
+    return stats
+
+
+def clear_caches() -> None:
+    """Reset both text caches (tests and cold-start benchmarks)."""
+    tokenize_cached.cache_clear()
+    normalize_text.cache_clear()
 
 
 def singular_form(token: str) -> str:

@@ -7,7 +7,10 @@ import pytest
 import repro.analyst.analyst
 import repro.catalog.generator
 import repro.em.similarity
+import repro.observability.metrics
+import repro.observability.tracer
 import repro.rulegen.confidence
+import repro.utils.clock
 import repro.utils.stats
 import repro.utils.text
 import repro.utils.vectors
@@ -16,7 +19,10 @@ MODULES = [
     repro.analyst.analyst,
     repro.catalog.generator,
     repro.em.similarity,
+    repro.observability.metrics,
+    repro.observability.tracer,
     repro.rulegen.confidence,
+    repro.utils.clock,
     repro.utils.stats,
     repro.utils.text,
 ]

@@ -36,3 +36,22 @@ def test_example_runs(filename, capsys):
     module.main()
     output = capsys.readouterr().out
     assert output.strip(), f"{filename} produced no output"
+
+
+@pytest.mark.parametrize("run", ["exec", "rulegen", "synonyms"])
+def test_cli_trace_runs(run, tmp_path, capsys):
+    """``repro trace <run>`` must produce a report and a loadable trace."""
+    import json
+
+    from repro.cli import main
+
+    out = tmp_path / f"trace_{run}.json"
+    argv = ["trace", run, "--items", "120", "--training", "400", "--out", str(out)]
+    if run == "synonyms":
+        argv += ["--rule", r"(motor | engine | \syn) oils? -> motor oil"]
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert "=== trace:" in output
+    assert "trace (" in output  # the span tree rendered something
+    payload = json.loads(out.read_text())
+    assert payload["traceEvents"], "chrome trace had no events"

@@ -227,6 +227,31 @@ class TestIncrementalExecutor:
         incremental.add_items([item("gold rings")])
         assert incremental.fired_map() is not first
 
+    def test_snapshot_memo_keys_on_enabled_identity_not_count(self):
+        # Regression guard: the memo key must be the enabled-rule
+        # *identity set*, not its size (or the store generation alone).
+        # Disabling rule A while enabling rule B between snapshots keeps
+        # the count and the generation unchanged; a count-keyed memo
+        # would serve rule A's stale snapshot.
+        rules, items = small_world()
+        rules[0].enabled = True
+        rules[1].enabled = False
+        incremental = IncrementalExecutor(rules, items)
+        first = incremental.fired_map()
+        generation = incremental.store.generation
+        rules[0].enabled = False
+        rules[1].enabled = True  # same enabled count, different identity
+        assert incremental.store.generation == generation
+        second = incremental.fired_map()
+        assert second is not first
+        assert second == full_fired(rules, items)
+        assert first != second  # the two views genuinely differ on this corpus
+        # Flipping back serves the correct view again (and re-memoizes).
+        rules[0].enabled = True
+        rules[1].enabled = False
+        assert incremental.fired_map() == first
+        assert incremental.fired_map() is incremental.fired_map()
+
     def test_refresh_rebuilds_from_scratch(self):
         rules, items = small_world()
         incremental = IncrementalExecutor(rules, items)

@@ -1,0 +1,272 @@
+"""Unit coverage for the observability layer: tracer, metrics, exporters.
+
+Every timing assertion runs on a TickClock, so durations are exact
+functions of clock-read counts — no sleeps, no tolerances.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_OBSERVABILITY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    chrome_trace_events,
+    ensure_observability,
+    render_report,
+    render_span_tree,
+    span_to_dict,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.utils.clock import TickClock
+from repro.utils.text import cache_stats, clear_caches, tokenize
+
+
+class TestTracer:
+    def test_nested_spans_link_parents(self):
+        tracer = Tracer(clock=TickClock(step=1.0))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # spans are collected in end order: inner closes first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_tick_clock_durations_are_deterministic(self):
+        tracer = Tracer(clock=TickClock(step=0.5))
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        # reads: a.start=0.0, b.start=0.5, b.end=1.0, a.end=1.5
+        assert tracer.find("b")[0].duration == pytest.approx(0.5)
+        assert tracer.find("a")[0].duration == pytest.approx(1.5)
+        assert tracer.total_time("a") == pytest.approx(1.5)
+
+    def test_attributes_at_open_and_set_attribute(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("run", items=3) as span:
+            span.set_attribute("matches", 7)
+        assert tracer.spans[0].attributes == {"items": 3, "matches": 7}
+
+    def test_exception_is_recorded_not_swallowed(self):
+        tracer = Tracer(clock=TickClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        span = tracer.spans[0]
+        assert span.finished
+        assert span.attributes["error"] == "RuntimeError"
+
+    def test_on_span_end_hooks_fire_in_end_order(self):
+        tracer = Tracer(clock=TickClock(step=0.25))
+        seen = []
+        tracer.on_span_end.append(lambda s: seen.append((s.name, s.duration)))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert seen == [("inner", 0.25), ("outer", 0.75)]
+
+    def test_current_and_roots(self):
+        tracer = Tracer(clock=TickClock())
+        assert tracer.current is None
+        with tracer.span("root") as root:
+            assert tracer.current is root
+            with tracer.span("child") as child:
+                assert tracer.current is child
+        assert tracer.current is None
+        assert tracer.roots() == [root]
+        assert tracer.children_of(root) == [child]
+
+    def test_disabled_tracer_records_nothing(self):
+        with NULL_TRACER.span("ignored", any=1) as span:
+            span.set_attribute("also", "ignored")
+        assert NULL_TRACER.spans == []
+
+    def test_clear_drops_finished_spans_keeps_hooks(self):
+        tracer = Tracer(clock=TickClock())
+        hook = lambda s: None  # noqa: E731
+        tracer.on_span_end.append(hook)
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.on_span_end == [hook]
+
+
+class TestMetricsRegistry:
+    def test_counter_is_monotonic(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.counter("c").value == 5
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_labels_address_distinct_children(self):
+        registry = MetricsRegistry()
+        registry.counter("fired", rule_id="a").inc()
+        registry.counter("fired", rule_id="b").inc(2)
+        series = registry.series("fired")
+        assert series["fired{rule_id=a}"].value == 1
+        assert series["fired{rule_id=b}"].value == 2
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc(1)
+        assert gauge.value == 4
+
+    def test_histogram_buckets_and_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1]  # <=0.1, <=1.0, overflow
+        assert hist.count == 3
+        assert hist.min == 0.05 and hist.max == 5.0
+        assert hist.mean == pytest.approx((0.05 + 0.5 + 5.0) / 3)
+
+    def test_bad_histogram_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 0.1))
+
+    def test_observe_fired_accumulates_per_rule(self):
+        registry = MetricsRegistry()
+        registry.observe_fired({"i1": ["r1", "r2"], "i2": ["r1"]})
+        registry.observe_fired({"i3": ["r1"]})
+        series = registry.series("rule_fired_total")
+        assert series["rule_fired_total{rule_id=r1}"].value == 3
+        assert series["rule_fired_total{rule_id=r2}"].value == 1
+
+    def test_observe_text_cache_surfaces_lru_stats(self):
+        clear_caches()
+        tokenize("Blue Jeans")
+        tokenize("Blue Jeans")
+        registry = MetricsRegistry()
+        registry.observe_text_cache()
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["text_cache_hits{fn=tokenize}"] == 1
+        assert gauges["text_cache_misses{fn=tokenize}"] == 1
+        assert gauges["text_cache_size{fn=tokenize}"] == 1
+        assert gauges["text_cache_maxsize{fn=tokenize}"] == 32768
+        assert gauges["text_cache_hit_rate{fn=tokenize}"] == pytest.approx(0.5)
+        assert "text_cache_hits{fn=normalize}" in gauges
+
+    def test_cache_stats_reset_by_clear(self):
+        clear_caches()
+        stats = cache_stats()
+        assert stats["tokenize"]["size"] == 0
+        assert stats["tokenize"]["hits"] == 0
+
+    def test_report_lines_are_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.2)
+        lines = registry.report_lines()
+        assert lines[0].startswith("counter   a_total")
+        assert lines[1].startswith("counter   b_total")
+        assert any(line.startswith("gauge     g = 1.5") for line in lines)
+        assert any(line.startswith("histogram h count=1") for line in lines)
+
+
+def sample_tracer():
+    tracer = Tracer(clock=TickClock(step=0.5))
+    with tracer.span("run", items=2):
+        with tracer.span("prepare"):
+            pass
+        with tracer.span("match"):
+            pass
+    return tracer
+
+
+class TestExporters:
+    def test_span_to_dict_roundtrips_through_json(self):
+        tracer = sample_tracer()
+        payload = json.loads(json.dumps(span_to_dict(tracer.spans[0])))
+        assert payload["name"] == "prepare"
+        assert payload["duration"] == 0.5
+
+    def test_jsonl_writes_one_span_per_line(self):
+        tracer = sample_tracer()
+        buffer = io.StringIO()
+        count = write_trace_jsonl(tracer.spans, buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert count == len(lines) == 3
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == ["prepare", "match", "run"]  # end order
+
+    def test_chrome_trace_events_are_relative_microseconds(self):
+        tracer = sample_tracer()
+        events = chrome_trace_events(tracer.spans)
+        by_name = {event["name"]: event for event in events}
+        assert by_name["run"]["ts"] == 0.0  # timeline starts at zero
+        assert by_name["run"]["ph"] == "X"
+        assert by_name["prepare"]["ts"] == pytest.approx(0.5e6)
+        assert by_name["prepare"]["dur"] == pytest.approx(0.5e6)
+        # nesting depth -> tid lane
+        assert by_name["run"]["tid"] == 0
+        assert by_name["prepare"]["tid"] == 1
+
+    def test_chrome_trace_file_is_loadable(self, tmp_path):
+        tracer = sample_tracer()
+        target = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer.spans, str(target))
+        payload = json.loads(target.read_text())
+        assert count == 3
+        assert len(payload["traceEvents"]) == 3
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_render_span_tree_indents_children(self):
+        tracer = sample_tracer()
+        lines = render_span_tree(tracer.spans)
+        assert lines[0].startswith("run")
+        assert lines[1].startswith("  prepare")
+        assert lines[2].startswith("  match")
+
+    def test_render_report_includes_both_sections(self):
+        tracer = sample_tracer()
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        report = render_report(tracer, registry, title="t")
+        assert "=== t ===" in report
+        assert "trace (3 spans):" in report
+        assert "counter   x_total = 1" in report
+
+    def test_render_report_empty(self):
+        assert "(nothing recorded)" in render_report(None, None)
+
+
+class TestObservabilityFacade:
+    def test_ensure_observability_defaults_to_shared_null(self):
+        assert ensure_observability(None) is NULL_OBSERVABILITY
+        obs = Observability()
+        assert ensure_observability(obs) is obs
+
+    def test_null_instance_is_inert(self):
+        with NULL_OBSERVABILITY.span("x") as span:
+            span.set_attribute("k", "v")
+        NULL_OBSERVABILITY.observe_fired({"i": ["r"]})
+        assert NULL_OBSERVABILITY.tracer.spans == []
+        assert NULL_OBSERVABILITY.metrics.snapshot()["counters"] == {}
+
+    def test_report_and_exports_through_facade(self, tmp_path):
+        obs = Observability(clock=TickClock(step=0.5))
+        with obs.span("run"):
+            pass
+        obs.metrics.counter("c_total").inc()
+        report = obs.report(title="facade")
+        assert "=== facade ===" in report and "run" in report
+        chrome = tmp_path / "c.json"
+        jsonl = tmp_path / "t.jsonl"
+        assert obs.write_chrome_trace(str(chrome)) == 1
+        assert obs.write_trace_jsonl(str(jsonl)) == 1
+        assert json.loads(chrome.read_text())["traceEvents"]

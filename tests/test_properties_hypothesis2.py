@@ -138,7 +138,7 @@ class TestBlockingSoundness:
 class TestPersistenceProperty:
     @given(st.lists(st.tuples(words, words), min_size=1, max_size=8),
            st.lists(words, min_size=1, max_size=5))
-    @settings(max_examples=25)
+    @settings(max_examples=25, deadline=None)  # tempdir I/O can outlast the default 200ms
     def test_round_trip_preserves_verdicts(self, specs, probe_words):
         import os
         import tempfile
