@@ -1,16 +1,61 @@
-"""Shared reporting helper for the benchmark harness.
+"""Shared reporting and measurement helpers for the benchmark harness.
 
 Each experiment emits its paper-style rows both to stdout and to
 ``benchmarks/results/<experiment>.txt`` so the regenerated tables survive
-pytest's output capturing.
+pytest's output capturing. The overhead benchmarks
+(``bench_obs_overhead``, ``bench_quality_overhead``) also share one
+comparison statistic, :func:`measure_interleaved` — min of interleaved
+runs — so "overhead" means the same thing in every report.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, List
+from typing import Callable, Iterable, List, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def measure_interleaved(
+    run_base: Callable[[], Tuple[object, float]],
+    run_measured: Callable[[], Tuple[object, float]],
+    repeats: int,
+):
+    """Interleaved base/measured runs -> two (result, min wall, walls) triples.
+
+    Each callable returns ``(result, wall_seconds)``. Alternating the two
+    series within one loop cancels the warm-up and drift bias a
+    back-to-back A-then-B comparison would bake in; taking each series'
+    *minimum* wall discards one-off scheduler preemptions — noise only
+    ever *adds* time, so the fastest observed run is the closest
+    observable to the true cost. That keeps ~50ms CI smoke runs from
+    flaking on a single preempted iteration.
+    """
+    result_base = result_measured = None
+    walls_base: List[float] = []
+    walls_measured: List[float] = []
+    for _ in range(repeats):
+        result_base, wall = run_base()
+        walls_base.append(wall)
+        result_measured, wall = run_measured()
+        walls_measured.append(wall)
+    return (
+        (result_base, min(walls_base), walls_base),
+        (result_measured, min(walls_measured), walls_measured),
+    )
+
+
+def overhead_fraction(base_wall: float, measured_wall: float) -> float:
+    """min measured wall / min base wall - 1 (0 when the base is degenerate)."""
+    return (measured_wall / base_wall - 1.0) if base_wall > 0 else 0.0
 
 
 def stats_lines(label: str, stats) -> List[str]:

@@ -31,17 +31,15 @@ from repro.execution import IndexedExecutor  # noqa: E402
 from repro.observability import Observability  # noqa: E402
 from repro.utils.text import clear_caches  # noqa: E402
 
-from _report import emit  # noqa: E402
+from _report import emit, measure_interleaved, median, overhead_fraction  # noqa: E402
 from bench_exec_prepared import build_corpus  # noqa: E402
 
 REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_obs.json")
 
 #: The acceptance ceiling: min instrumented wall / min plain wall - 1.
-#: Min-of-N is the comparison statistic because scheduler noise only ever
-#: *adds* time — the fastest interleaved run of each series is the closest
-#: observable to its true cost, which keeps the smoke configuration (~50ms
-#: runs in CI) from flaking on a single preempted iteration.
+#: Min-of-interleaved-runs is the shared comparison statistic — see
+#: ``_report.measure_interleaved`` for why.
 OVERHEAD_BUDGET = 0.05
 
 
@@ -51,35 +49,19 @@ def run_once(rules, items, observability=None):
     return fired, stats.wall_time
 
 
-def median(values):
-    ordered = sorted(values)
-    mid = len(ordered) // 2
-    if len(ordered) % 2:
-        return ordered[mid]
-    return (ordered[mid - 1] + ordered[mid]) / 2.0
-
-
 def measure(rules, items, repeats):
-    """Interleaved plain/traced runs -> (fired, min wall, walls) pairs.
+    """Interleaved plain/traced runs -> (fired, min wall, walls) pairs."""
+    observed = []
 
-    Alternating the two series within one loop cancels the warm-up and
-    drift bias a back-to-back A-then-B comparison would bake in; taking
-    each series' *minimum* wall discards one-off scheduler preemptions.
-    """
-    fired_plain = fired_traced = None
-    walls_plain, walls_traced = [], []
-    last_obs = None
-    for _ in range(repeats):
-        fired_plain, wall = run_once(rules, items, observability=None)
-        walls_plain.append(wall)
-        last_obs = Observability()
-        fired_traced, wall = run_once(rules, items, observability=last_obs)
-        walls_traced.append(wall)
-    return (
-        (fired_plain, min(walls_plain), walls_plain),
-        (fired_traced, min(walls_traced), walls_traced),
-        last_obs,
+    def run_traced():
+        obs = Observability()
+        observed.append(obs)
+        return run_once(rules, items, observability=obs)
+
+    plain, traced = measure_interleaved(
+        lambda: run_once(rules, items), run_traced, repeats
     )
+    return plain, traced, observed[-1] if observed else None
 
 
 def main(argv=None):
@@ -115,7 +97,7 @@ def main(argv=None):
         fired_traced, wall_traced, walls_traced = traced
         # Identity must hold on EVERY attempt — it is not a noisy statistic.
         identical = identical and fired_plain == fired_traced
-        overhead = (wall_traced / wall_plain - 1.0) if wall_plain > 0 else 0.0
+        overhead = overhead_fraction(wall_plain, wall_traced)
         within_budget = overhead <= args.budget
         if not identical or within_budget:
             break

@@ -20,14 +20,28 @@ from repro.core.prepared import ItemLike
 from repro.core.rule import Prediction
 from repro.core.ruleset import RuleSet
 from repro.learning.ensemble import VotingEnsemble
+from repro.observability.provenance import StageTrace
 
 
 class ClassifierStage(ABC):
-    """A named pipeline stage producing per-item predictions."""
+    """A named pipeline stage producing per-item predictions.
+
+    When ``record_provenance`` is on, each ``predict`` call stashes a
+    :class:`~repro.observability.provenance.StageTrace` of what fired and
+    what was voted, captured from the values the stage computed anyway —
+    recording never re-evaluates a rule, which is what keeps labels
+    byte-identical with telemetry on or off. The pipeline collects the
+    stash with :meth:`take_trace` (take-and-clear). A stage with nothing
+    to report — routed around by its breaker, untrained, or simply no
+    rule fired and no vote cast — stashes nothing, so empty traces never
+    hit the per-item recording budget.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.enabled = True
+        self.record_provenance = False
+        self._last_trace: Optional[StageTrace] = None
 
     @abstractmethod
     def predict(self, item: ItemLike) -> List[Prediction]:
@@ -36,6 +50,11 @@ class ClassifierStage(ABC):
     def constraints(self, item: ItemLike) -> Optional[Set[str]]:
         """Allowed-type restriction for ``item``, or None for unconstrained."""
         return None
+
+    def take_trace(self) -> Optional[StageTrace]:
+        """The last predict's provenance trace, cleared on read."""
+        trace, self._last_trace = self._last_trace, None
+        return trace
 
 
 class RuleBasedClassifier(ClassifierStage):
@@ -47,10 +66,21 @@ class RuleBasedClassifier(ClassifierStage):
 
     def predict(self, item: ItemLike) -> List[Prediction]:
         verdict = self.rules.apply(item)
-        return [
+        predictions = [
             Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
             for p in verdict.predictions
         ]
+        if self.record_provenance and (
+            verdict.fired or verdict.vetoed or verdict.constrained_to is not None
+        ):
+            self._last_trace = StageTrace(
+                self.name,
+                verdict.fired,
+                tuple([(p.label, p.weight, p.source) for p in predictions]),
+                verdict.vetoed,
+                verdict.constrained_to,
+            )
+        return predictions
 
     def vetoes(self, item: ItemLike) -> Set[str]:
         """Types this stage's blacklists veto for ``item``."""
@@ -66,10 +96,21 @@ class AttributeValueClassifier(ClassifierStage):
 
     def predict(self, item: ItemLike) -> List[Prediction]:
         verdict = self.rules.apply(item)
-        return [
+        predictions = [
             Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
             for p in verdict.predictions
         ]
+        if self.record_provenance and (
+            verdict.fired or verdict.vetoed or verdict.constrained_to is not None
+        ):
+            self._last_trace = StageTrace(
+                self.name,
+                verdict.fired,
+                tuple([(p.label, p.weight, p.source) for p in predictions]),
+                verdict.vetoed,
+                verdict.constrained_to,
+            )
+        return predictions
 
     def constraints(self, item: ItemLike) -> Optional[Set[str]]:
         verdict = self.rules.apply(item)
@@ -105,8 +146,18 @@ class LearningClassifierStage(ClassifierStage):
         if not self._trained:
             return []
         predictions = self.ensemble.predict(item.title)
-        return [
+        surviving = [
             Prediction(p.label, weight=p.weight, source=f"{self.name}:{p.source}")
             for p in predictions
             if p.label not in self.suppressed_types
         ]
+        if self.record_provenance and surviving:
+            # Learning votes carry no fired rule ids — the vote source
+            # names the ensemble member, which is exactly the liability
+            # distinction §3.2 draws between rule and learning labels.
+            self._last_trace = StageTrace(
+                self.name,
+                (),
+                tuple([(p.label, p.weight, p.source) for p in surviving]),
+            )
+        return surviving

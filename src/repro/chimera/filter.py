@@ -15,16 +15,30 @@ from repro.catalog.types import ProductItem
 from repro.core.prepared import ItemLike
 from repro.core.rule import Prediction
 from repro.core.ruleset import RuleSet
+from repro.observability.provenance import StageTrace
 
 
 class FinalFilter:
-    """Walks the ranked candidates, dropping vetoed or killed types."""
+    """Walks the ranked candidates, dropping vetoed or killed types.
+
+    With ``record_provenance`` on, each :meth:`select` stashes which
+    filter rules fired and which types were vetoed (captured from the
+    verdict it computed anyway); the pipeline collects the stash via
+    :meth:`take_trace`.
+    """
 
     def __init__(self, rules: Optional[RuleSet] = None):
         self.rules = rules if rules is not None else RuleSet(name="filter")
         # Business kill switches: predictions for these types are always
         # dropped and the items routed to manual classification.
         self.killed_types: Set[str] = set()
+        self.record_provenance = False
+        self._last_trace: Optional[StageTrace] = None
+
+    def take_trace(self) -> Optional[StageTrace]:
+        """The last select's provenance trace, cleared on read."""
+        trace, self._last_trace = self._last_trace, None
+        return trace
 
     def kill_type(self, type_name: str) -> None:
         self.killed_types.add(type_name)
@@ -45,7 +59,14 @@ class FinalFilter:
         are considered — the Filter removes bad answers, it does not rescue
         low-confidence ones.
         """
-        vetoed = self.vetoed_types(item)
+        verdict = self.rules.apply(item)
+        vetoed = set(verdict.vetoed) | self.killed_types
+        if self.record_provenance:
+            self._last_trace = StageTrace(
+                stage="filter",
+                fired=verdict.fired,
+                vetoed=tuple(sorted(vetoed)),
+            )
         for candidate in ranked:
             if candidate.weight < confidence_threshold:
                 return None

@@ -27,7 +27,9 @@ class Incident:
     the scale-down / repair / restore playbook applies) from
     *stage-failure* incidents (a classifier stage started throwing and its
     circuit breaker opened; containment is automatic, the incident exists
-    for visibility and postmortem).
+    for visibility and postmortem) and *rule-quality* incidents (the
+    telemetry layer caught specific rules below the precision floor or
+    drifting; scale-down disables exactly those rules).
     """
 
     incident_id: str
@@ -36,7 +38,9 @@ class Incident:
     disabled_rule_ids: Dict[str, List[str]] = field(default_factory=dict)
     status: str = "open"  # open -> scaled-down -> repaired -> closed
     notes: List[str] = field(default_factory=list)
-    kind: str = "quality"  # "quality" | "stage-failure"
+    kind: str = "quality"  # "quality" | "stage-failure" | "rule-quality"
+    # rule-quality incidents name the offending rules, not types.
+    rule_ids: Tuple[str, ...] = ()
 
 
 class IncidentManager:
@@ -77,6 +81,49 @@ class IncidentManager:
         self.incidents.append(incident)
         return incident
 
+    def open_rule_incident(
+        self, rule_ids: Sequence[str], reason: str = "", at: float = 0.0
+    ) -> Incident:
+        """Open a rule-quality incident naming the offending rules.
+
+        Fired by :meth:`watch_quality` when the telemetry layer catches a
+        precision-floor breach or a fire-rate drift; :meth:`scale_down`
+        then disables exactly those rules (compositional containment —
+        the rest of the ruleset keeps working, §2.2).
+        """
+        if not rule_ids:
+            raise ValueError("a rule incident needs at least one rule id")
+        incident = Incident(
+            incident_id=f"incident-{next(_incident_ids):04d}",
+            opened_at=at,
+            affected_types=(),
+            kind="rule-quality",
+            rule_ids=tuple(sorted(set(rule_ids))),
+        )
+        if reason:
+            incident.notes.append(reason)
+        self.incidents.append(incident)
+        return incident
+
+    def watch_quality(self, tracker, clock=None) -> None:
+        """Auto-open a rule incident for every rule-quality alert.
+
+        Subscribes to a
+        :class:`~repro.observability.quality.RuleHealthTracker` (or a
+        :class:`~repro.observability.quality.QualityTelemetry` facade):
+        each precision-floor / drift alert becomes an open incident
+        carrying the offending rule ids, ready for :meth:`scale_down`.
+        """
+        def on_alert(alert) -> None:
+            at = clock.now if clock is not None else 0.0
+            self.open_rule_incident(
+                alert.rule_ids,
+                reason=f"[{alert.kind}] batch {alert.batch_id}: {alert.detail}",
+                at=at,
+            )
+
+        tracker.on_alert.append(on_alert)
+
     def watch_health(self, clock=None) -> None:
         """Auto-open a stage incident whenever a breaker trips.
 
@@ -105,13 +152,16 @@ class IncidentManager:
         types at the Voting Master (a learning module cannot be partially
         retrained in minutes, so suppression is the fast control).
         """
-        if incident.kind != "quality":
+        if incident.kind == "stage-failure":
             raise ValueError(
                 "stage-failure incidents are contained by the circuit breaker; "
                 "there is nothing to scale down"
             )
         if incident.status != "open":
             raise ValueError(f"cannot scale down incident in state {incident.status!r}")
+        if incident.kind == "rule-quality":
+            self._scale_down_rules(incident)
+            return
         for type_name in incident.affected_types:
             disabled = self.chimera.rule_stage.rules.disable_type(type_name)
             attr_disabled = self.chimera.attr_stage.rules.disable_type(type_name)
@@ -122,6 +172,37 @@ class IncidentManager:
         incident.notes.append(
             f"suppressed {len(incident.affected_types)} types, "
             f"disabled {sum(len(v) for v in incident.disabled_rule_ids.values())} rules"
+        )
+
+    def _rule_stages(self):
+        """(stage name, ruleset) pairs a rule incident may touch."""
+        return (
+            ("rule-based", self.chimera.rule_stage.rules),
+            ("attr-value", self.chimera.attr_stage.rules),
+            ("filter", self.chimera.filter.rules),
+        )
+
+    def _scale_down_rules(self, incident: Incident) -> None:
+        """Disable exactly the incident's named rules, wherever they live."""
+        missing: List[str] = []
+        for rule_id in incident.rule_ids:
+            found = False
+            for stage_name, rules in self._rule_stages():
+                if rule_id in rules:
+                    found = True
+                    if rules.get(rule_id).enabled:
+                        rules.disable(rule_id)
+                        incident.disabled_rule_ids.setdefault(
+                            stage_name, []
+                        ).append(rule_id)
+                    break
+            if not found:
+                missing.append(rule_id)
+        incident.status = "scaled-down"
+        disabled = sum(len(v) for v in incident.disabled_rule_ids.values())
+        incident.notes.append(
+            f"disabled {disabled} of {len(incident.rule_ids)} flagged rules"
+            + (f" (not found: {', '.join(missing)})" if missing else "")
         )
 
     def repair(
@@ -160,6 +241,8 @@ class IncidentManager:
                     self.chimera.rule_stage.rules.enable(rule_id)
                 elif rule_id in self.chimera.attr_stage.rules:
                     self.chimera.attr_stage.rules.enable(rule_id)
+                elif rule_id in self.chimera.filter.rules:
+                    self.chimera.filter.rules.enable(rule_id)
         for type_name in incident.affected_types:
             self.chimera.voting.suppressed_types.discard(type_name)
             self.chimera.learning_stage.suppressed_types.discard(type_name)

@@ -47,16 +47,42 @@ class BatchStats:
 
 
 class PrecisionMonitor:
-    """Sliding-window precision watchdog."""
+    """Sliding-window precision watchdog.
 
-    def __init__(self, floor: float = 0.92, window: int = 5):
+    ``history`` is retention-bounded: a never-ending deployment records a
+    batch every few minutes for weeks, so an unbounded list is a slow
+    leak. When more than ``retention`` batches have been recorded the
+    oldest is dropped — after being handed to ``on_evict`` (the rotation
+    hook: point it at a JSON-lines spool, a downsampler, whatever the
+    deployment archives with). ``retention=None`` restores the unbounded
+    behaviour.
+    """
+
+    #: Default history bound: generous for tests/benchmarks, finite for
+    #: week-long runs (window-based queries never look further back).
+    DEFAULT_RETENTION = 4096
+
+    def __init__(
+        self,
+        floor: float = 0.92,
+        window: int = 5,
+        retention: Optional[int] = DEFAULT_RETENTION,
+        on_evict: Optional[Callable[[BatchStats], None]] = None,
+    ):
         if not 0.0 < floor <= 1.0:
             raise ValueError(f"floor must be in (0, 1], got {floor}")
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        if retention is not None and retention < window:
+            raise ValueError(
+                f"retention must be >= window ({window}), got {retention}"
+            )
         self.floor = floor
         self.window = window
+        self.retention = retention
+        self.on_evict = on_evict
         self.history: List[BatchStats] = []
+        self.evicted_batches = 0
         self._recent: Deque[BatchStats] = deque(maxlen=window)
 
     def record(
@@ -78,6 +104,12 @@ class PrecisionMonitor:
         )
         self.history.append(stats)
         self._recent.append(stats)
+        if self.retention is not None:
+            while len(self.history) > self.retention:
+                evicted = self.history.pop(0)
+                self.evicted_batches += 1
+                if self.on_evict is not None:
+                    self.on_evict(evicted)
         return stats
 
     @property
@@ -422,3 +454,7 @@ class GuardedStage:
 
     def constraints(self, item) -> Optional[Set[str]]:
         return self._guarded(lambda: self.stage.constraints(item), None, "constraints")
+
+    def take_trace(self):
+        """Provenance passthrough (a routed-around call leaves None)."""
+        return self.stage.take_trace()

@@ -26,6 +26,8 @@ from repro.core.ruleset import RuleSet
 from repro.execution.incremental import IncrementalExecutor
 from repro.learning.ensemble import VotingEnsemble
 from repro.observability import Observability, ensure_observability
+from repro.observability.provenance import ProvenanceRecord, StageTrace
+from repro.observability.quality import QualityTelemetry
 from repro.learning.knn import KNearestNeighbors
 from repro.learning.naive_bayes import MultinomialNaiveBayes
 from repro.learning.svm import LinearSvmClassifier
@@ -161,6 +163,10 @@ class Chimera:
         self._pending_training = 0
         # stage name -> incremental fired-map tracker (see track_fired_map).
         self.fired_trackers: Dict[str, IncrementalExecutor] = {}
+        # Rule-quality telemetry (see enable_quality_telemetry): when set,
+        # every classify_item records its full attribution chain.
+        self.quality: Optional[QualityTelemetry] = None
+        self._batch_counter = 0
 
     @classmethod
     def build(
@@ -313,16 +319,136 @@ class Chimera:
     def pending_training(self) -> int:
         return self._pending_training
 
+    # -- rule-quality telemetry ---------------------------------------------------
+
+    def enable_quality_telemetry(
+        self, quality: Optional[QualityTelemetry] = None
+    ) -> QualityTelemetry:
+        """Attach rule-quality telemetry (label provenance + health windows).
+
+        Turns on provenance recording in every stage and the filter:
+        from here on each classified item's full attribution chain lands
+        on ``quality.provenance`` and feeds ``quality.health``'s per-rule
+        windows; ``classify_batch`` closes a health batch per call.
+        Recording reads only values the pipeline computed anyway, so
+        labels stay byte-identical (tests/test_quality_properties.py).
+        """
+        if quality is None:
+            metrics = (
+                self.observability.metrics if self.observability.enabled else None
+            )
+            from repro.observability.quality import RuleHealthTracker
+
+            quality = QualityTelemetry(health=RuleHealthTracker(metrics=metrics))
+        self.quality = quality
+        for stage in (self.rule_stage, self.attr_stage, self.learning_stage):
+            stage.record_provenance = True
+        self.filter.record_provenance = True
+        return quality
+
+    def disable_quality_telemetry(self) -> None:
+        """Detach telemetry and stop provenance recording."""
+        self.quality = None
+        for stage in (self.rule_stage, self.attr_stage, self.learning_stage):
+            stage.record_provenance = False
+        self.filter.record_provenance = False
+
+    def why(self, item_id: str):
+        """Provenance records for one item (requires telemetry enabled)."""
+        if self.quality is None:
+            raise RuntimeError("call enable_quality_telemetry() first")
+        return self.quality.why(item_id)
+
+    def blame(self, rule_id: str):
+        """Provenance records in which one rule fired (requires telemetry)."""
+        if self.quality is None:
+            raise RuntimeError("call enable_quality_telemetry() first")
+        return self.quality.blame(rule_id)
+
+    def _record_provenance(
+        self,
+        item_id: str,
+        batch_id: str,
+        label: Optional[str],
+        source: str,
+        decision,
+        stages: Tuple[StageTrace, ...] = (),
+        ranked=(),
+        final=None,
+    ) -> None:
+        # Hot path: positional construction, seq stamped inside record()
+        # — every call and keyword saved here is per classified item
+        # (benchmarks/bench_quality_overhead.py).
+        quality = self.quality
+        filt = self.filter
+        filter_trace = filt._last_trace
+        if filter_trace is not None:
+            filt._last_trace = None
+            filter_fired = filter_trace.fired
+            filter_vetoed = filter_trace.vetoed
+        else:
+            filter_fired = filter_vetoed = ()
+        record = ProvenanceRecord(
+            0,  # seq: assigned by ProvenanceLog.record
+            item_id,
+            batch_id,
+            label,
+            source,
+            decision.action.value,
+            decision.reason,
+            stages,
+            tuple([(p.label, p.weight) for p in ranked]) if ranked else (),
+            (final.label, final.weight) if final is not None else None,
+            filter_fired,
+            filter_vetoed,
+        )
+        quality.provenance.record(record)
+        quality.health.observe_record(record)
+
+    def _collect_stage_traces(self) -> Tuple[StageTrace, ...]:
+        # Reads the stages' trace stashes directly (take-and-clear, same
+        # contract as ClassifierStage.take_trace) — three method calls per
+        # item add up against the telemetry overhead budget.
+        traces = []
+        stage = self.rule_stage
+        trace = stage._last_trace
+        if trace is not None:
+            stage._last_trace = None
+            traces.append(trace)
+        stage = self.attr_stage
+        trace = stage._last_trace
+        if trace is not None:
+            stage._last_trace = None
+            traces.append(trace)
+        stage = self.learning_stage
+        trace = stage._last_trace
+        if trace is not None:
+            stage._last_trace = None
+            traces.append(trace)
+        return tuple(traces)
+
+    def _clear_traces(self) -> None:
+        self.rule_stage._last_trace = None
+        self.attr_stage._last_trace = None
+        self.learning_stage._last_trace = None
+        self.filter._last_trace = None
+
     # -- classification -----------------------------------------------------------
 
-    def classify_item(self, item: ItemLike) -> Optional[ItemResult]:
+    def classify_item(
+        self, item: ItemLike, batch_id: str = ""
+    ) -> Optional[ItemResult]:
         """Classify one item; None means the gate rejected it as junk.
 
         The item is prepared (tokenized) once here; every stage, rule set,
         and filter below shares the same
-        :class:`~repro.core.prepared.PreparedItem` view.
+        :class:`~repro.core.prepared.PreparedItem` view. With quality
+        telemetry enabled, the item's attribution chain (gate decision,
+        per-stage fired rules and votes, voting-master ranking, filter
+        outcome) is recorded under ``batch_id``.
         """
         obs = self.observability
+        quality = self.quality
         with obs.span("chimera.classify_item") as item_span:
             with obs.span("chimera.prepare"):
                 prepared = prepare(item)
@@ -331,14 +457,34 @@ class Chimera:
                 decision = self.gatekeeper.process(prepared)
             if decision.action is GateAction.REJECT:
                 item_span.set_attribute("source", "gate-reject")
+                if quality is not None:
+                    self._record_provenance(
+                        prepared.item_id, batch_id, None, "gate-reject", decision
+                    )
                 return None
             if decision.action is GateAction.CLASSIFY:
                 item_span.set_attribute("source", "gate")
+                if quality is not None:
+                    self._record_provenance(
+                        prepared.item_id, batch_id, decision.label, "gate", decision
+                    )
                 return ItemResult(raw_item, decision.label, source="gate")
+            if quality is not None:
+                # Drop any stash left by a bypassed/rejected item so a
+                # routed-around stage can't surface a stale trace.
+                self._clear_traces()
             with obs.span("chimera.vote"):
                 final, ranked = self.voting.combine(prepared, self._guarded_stages)
+            stage_traces = (
+                self._collect_stage_traces() if quality is not None else ()
+            )
             if final is None and not ranked:
                 item_span.set_attribute("source", "no-votes")
+                if quality is not None:
+                    self._record_provenance(
+                        prepared.item_id, batch_id, None, "no-votes",
+                        decision, stage_traces,
+                    )
                 return ItemResult(raw_item, None, source="no-votes")
             with obs.span("chimera.filter"):
                 chosen = self.filter.select(
@@ -346,8 +492,19 @@ class Chimera:
                 )
             if chosen is None:
                 item_span.set_attribute("source", "low-confidence-or-filtered")
+                if quality is not None:
+                    self._record_provenance(
+                        prepared.item_id, batch_id, None,
+                        "low-confidence-or-filtered", decision,
+                        stage_traces, ranked, final,
+                    )
                 return ItemResult(raw_item, None, source="low-confidence-or-filtered")
             item_span.set_attribute("source", "pipeline")
+            if quality is not None:
+                self._record_provenance(
+                    prepared.item_id, batch_id, chosen.label, "pipeline",
+                    decision, stage_traces, ranked, final,
+                )
             return ItemResult(raw_item, chosen.label, source="pipeline")
 
     def explain_item(self, item: ProductItem) -> str:
@@ -383,12 +540,17 @@ class Chimera:
         lines.append(f"final: {label if label else 'unclassified'}")
         return "\n".join(lines)
 
-    def classify_batch(self, items: Sequence[ProductItem]) -> BatchResult:
+    def classify_batch(
+        self, items: Sequence[ProductItem], batch_id: Optional[str] = None
+    ) -> BatchResult:
         obs = self.observability
         result = BatchResult()
+        if batch_id is None:
+            batch_id = f"batch-{self._batch_counter:04d}"
+        self._batch_counter += 1
         with obs.span("chimera.classify_batch", items=len(items)) as batch_span:
             for item in items:
-                item_result = self.classify_item(item)
+                item_result = self.classify_item(item, batch_id=batch_id)
                 if item_result is None:
                     result.rejected.append(item)
                 else:
@@ -397,6 +559,8 @@ class Chimera:
                 "classified", sum(1 for r in result.results if r.classified)
             )
             batch_span.set_attribute("rejected", len(result.rejected))
+        if self.quality is not None:
+            self.quality.finish_batch(batch_id, len(items))
         if obs.enabled:
             classified = sum(1 for r in result.results if r.classified)
             obs.metrics.counter("chimera_items_total").inc(len(items))

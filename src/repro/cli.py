@@ -8,6 +8,8 @@ Subcommands::
     repro synonyms --rule "(motor | engine | \\syn) oils? -> motor oil" \\
                    --slot vehicle                        # §5.1 tool session
     repro trace classify --out trace.json               # traced run + report
+    repro monitor --rules rules.json --catalog items.json \
+                  --json health.json                    # rule-quality telemetry
 
 ``trace`` re-runs one of the instrumented paths (classify / exec /
 rulegen / synonyms) with observability enabled, prints the plain-text
@@ -124,6 +126,144 @@ def _cmd_synonyms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_catalog_items(path: str):
+    """Items from a JSON array or JSON-lines file (the catalog formats)."""
+    from repro.catalog.types import ProductItem
+
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        rows = json.loads(text)
+    else:
+        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return [
+        ProductItem(
+            item_id=row["item_id"],
+            title=row["title"],
+            attributes=dict(row.get("attributes", {})),
+            true_type=row.get("true_type", ""),
+            vendor=row.get("vendor", ""),
+            description=row.get("description", ""),
+        )
+        for row in rows
+    ]
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Classify with rule-quality telemetry on; report per-rule health."""
+    from repro.chimera.incidents import IncidentManager
+    from repro.crowd import VerificationTask, WorkerPool
+    from repro.evaluation.per_rule import PerRuleCrowdEvaluator
+    from repro.observability import (
+        Observability,
+        QualityTelemetry,
+        RuleHealthTracker,
+        render_health_report,
+        write_health_json,
+    )
+
+    generator = _build_generator(args.seed, args.extra_types)
+    observability = Observability()
+    chimera = Chimera.build(seed=args.seed, observability=observability)
+    loaded_rules = None
+    if args.rules:
+        with open(args.rules) as handle:
+            payload = json.load(handle)
+        if isinstance(payload, list):
+            # Bare rule-dict list (the golden-corpus format).
+            from repro.core.serialize import rules_from_dicts
+
+            loaded_rules = rules_from_dicts(payload)
+        else:
+            loaded_rules = load_ruleset(args.rules)
+        chimera.add_whitelist_rules(
+            [r for r in loaded_rules if not r.is_blacklist and not r.is_constraint])
+        chimera.add_blacklist_rules([r for r in loaded_rules if r.is_blacklist])
+    if args.training:
+        chimera.add_training(generator.generate_labeled(args.training))
+        chimera.retrain(min_examples_per_type=args.min_examples)
+
+    tracker = RuleHealthTracker(
+        window=args.window,
+        baseline_batches=args.baseline_batches,
+        precision_floor=args.floor,
+        metrics=observability.metrics,
+    )
+    quality = chimera.enable_quality_telemetry(QualityTelemetry(health=tracker))
+    manager = IncidentManager(chimera)
+    manager.watch_quality(tracker)
+
+    batches = max(1, args.batches)
+    if args.catalog:
+        items = _load_catalog_items(args.catalog)
+        per_batch = max(1, (len(items) + batches - 1) // batches)
+        batched = [items[i:i + per_batch] for i in range(0, len(items), per_batch)]
+    else:
+        batched = [generator.generate_items(args.items) for _ in range(batches)]
+    if args.drift:
+        if args.catalog:
+            print("--drift needs a synthesized catalog; ignoring", file=sys.stderr)
+        else:
+            from repro.catalog.drift import DriftInjector
+
+            # Shift the head vocabulary of the busiest type after the
+            # baseline window so the drift detector has something to catch.
+            injector = DriftInjector(generator, seed=args.seed)
+            counts = {}
+            for batch in batched:
+                for item in batch:
+                    counts[item.true_type] = counts.get(item.true_type, 0) + 1
+            target = max(sorted(counts), key=lambda name: counts[name])
+            injector.shift_head_vocabulary(
+                target, ["zorblax", "quuxine", "fremdel"]
+            )
+            drift_from = max(args.baseline_batches, batches // 2)
+            batched[drift_from:] = [
+                generator.generate_items(args.items)
+                for _ in range(len(batched) - drift_from)
+            ]
+            print(f"injected head-vocabulary drift into {target!r} "
+                  f"from batch {drift_from}", file=sys.stderr)
+
+    classified = []
+    for index, batch in enumerate(batched):
+        result = chimera.classify_batch(batch, batch_id=f"monitor-{index:04d}")
+        classified.extend(result.classified_pairs)
+
+    if args.crowd_sample:
+        rules = [
+            rule
+            for ruleset in (chimera.rule_stage.rules, chimera.attr_stage.rules)
+            for rule in ruleset.active_rules()
+        ]
+        task = VerificationTask(WorkerPool(seed=args.seed), seed=args.seed)
+        evaluator = PerRuleCrowdEvaluator(task, sample_per_rule=args.crowd_sample)
+        all_items = [item for batch in batched for item in batch]
+        report = evaluator.evaluate(rules, all_items)
+        breaches = quality.ingest_precision(report, batch_id="crowd")
+        print(f"crowd: {len(report.estimates)} rules estimated, "
+              f"{report.crowd_answers} answers, "
+              f"{len(breaches)} below floor", file=sys.stderr)
+
+    print(render_health_report(
+        tracker, provenance=quality.provenance,
+        title="rule health", top=args.top,
+    ))
+    if manager.incidents:
+        print()
+        print(f"incidents ({len(manager.incidents)}):")
+        for incident in manager.incidents:
+            print(f"  {incident.incident_id} [{incident.kind}] "
+                  f"{incident.status}: {', '.join(incident.rule_ids)}")
+            for note in incident.notes:
+                print(f"    {note}")
+    if args.json:
+        write_health_json(tracker, args.json, provenance=quality.provenance)
+        print(f"wrote health report -> {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.observability import Observability
 
@@ -232,6 +372,32 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
                        help="trace file format (default chrome)")
     trace.set_defaults(func=_cmd_trace)
+
+    monitor = sub.add_parser(
+        "monitor", help="rule-quality telemetry: per-rule health + alerts"
+    )
+    common(monitor)
+    monitor.add_argument("--rules", default=None, help="ruleset JSON to load")
+    monitor.add_argument("--catalog", default=None,
+                         help="item file (JSON array or JSONL); default synthesize")
+    monitor.add_argument("--items", type=int, default=300,
+                         help="items per synthesized batch")
+    monitor.add_argument("--batches", type=int, default=4)
+    monitor.add_argument("--training", type=int, default=0,
+                         help="train the learning stage on N labeled titles")
+    monitor.add_argument("--min-examples", type=int, default=5)
+    monitor.add_argument("--floor", type=float, default=0.92,
+                         help="precision floor for alerts")
+    monitor.add_argument("--window", type=int, default=8)
+    monitor.add_argument("--baseline-batches", type=int, default=2)
+    monitor.add_argument("--drift", action="store_true",
+                         help="inject vocabulary drift after the baseline window")
+    monitor.add_argument("--crowd-sample", type=int, default=0,
+                         help="crowd-verify N items per rule (precision join)")
+    monitor.add_argument("--top", type=int, default=20,
+                         help="rules shown in the table (0 = all)")
+    monitor.add_argument("--json", default=None, help="health JSON output path")
+    monitor.set_defaults(func=_cmd_monitor)
     return parser
 
 

@@ -475,6 +475,12 @@ class IncrementalExecutor:
         self._snapshot = self.store.fired_map(enabled)
         self._snapshot_generation = self.store.generation
         self._snapshot_enabled = enabled
+        # Provenance hook: each freshly materialized snapshot is one
+        # observation of "which rules fire where" — mirror it into
+        # metrics and (when attached) the rule-health windows. Strictly
+        # observational; the returned map is untouched.
+        if self.observability.enabled or self.observability.quality is not None:
+            self.observability.observe_fired(self._snapshot)
         return self._snapshot
 
     def fired_for_item(self, item_id: str) -> List[str]:

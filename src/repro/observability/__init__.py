@@ -11,7 +11,12 @@ time goes. This package is that one instrumented path:
   the existing accounting objects (``ExecutionStats``, stage health,
   the text caches) rather than duplicating them;
 * :mod:`~repro.observability.exporters` — JSON-lines and Chrome-trace
-  dumps plus the CLI's plain-text report.
+  dumps plus the CLI's plain-text reports;
+* :mod:`~repro.observability.provenance` — the per-label attribution
+  chain (``why(item_id)`` / ``blame(rule_id)``) in a bounded ring buffer;
+* :mod:`~repro.observability.quality` — per-rule health windows (fire
+  rate, win-rate, overlap, crowd precision) with drift/precision-floor
+  alerting wired into the incident machinery.
 
 :class:`Observability` bundles one tracer and one registry, which is the
 object executors, the Chimera pipeline, the synonym session, and the
@@ -28,10 +33,13 @@ from typing import Callable, Optional
 
 from repro.observability.exporters import (
     chrome_trace_events,
+    health_snapshot,
+    render_health_report,
     render_report,
     render_span_tree,
     span_to_dict,
     write_chrome_trace,
+    write_health_json,
     write_trace_jsonl,
 )
 from repro.observability.metrics import (
@@ -39,6 +47,18 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.observability.provenance import (
+    ProvenanceLog,
+    ProvenanceRecord,
+    StageTrace,
+)
+from repro.observability.quality import (
+    PRECISION_FLOOR,
+    QualityTelemetry,
+    RuleAlert,
+    RuleHealth,
+    RuleHealthTracker,
 )
 from repro.observability.tracer import NULL_TRACER, Span, Tracer
 
@@ -55,14 +75,30 @@ class Observability:
         self,
         clock: Optional[Callable[[], float]] = None,
         enabled: bool = True,
+        quality: Optional[QualityTelemetry] = None,
     ):
         self.enabled = enabled
         self.tracer = Tracer(clock=clock, enabled=enabled)
         self.metrics = MetricsRegistry()
+        # Optional rule-quality telemetry: when attached, every fired map
+        # the executors report also lands on the health tracker as one
+        # batch observation (the fired-map provenance hook).
+        self.quality = quality
 
     def span(self, name: str, **attributes: object):
         """Shorthand for ``self.tracer.span(...)``."""
         return self.tracer.span(name, **attributes)
+
+    def attach_quality(
+        self, quality: Optional[QualityTelemetry] = None
+    ) -> QualityTelemetry:
+        """Attach (or create) rule-quality telemetry; returns it."""
+        if quality is None:
+            quality = QualityTelemetry(
+                health=RuleHealthTracker(metrics=self.metrics)
+            )
+        self.quality = quality
+        return quality
 
     def observe_execution(self, stats, executor: str) -> None:
         """Feed run stats to the registry (no-op when disabled)."""
@@ -73,6 +109,8 @@ class Observability:
         """Feed per-rule fire counts to the registry (no-op when disabled)."""
         if self.enabled:
             self.metrics.observe_fired(fired)
+            if self.quality is not None:
+                self.quality.observe_fired_map(fired)
 
     def report(self, title: str = "observability report") -> str:
         """Plain-text span tree + metrics dump."""
@@ -102,13 +140,24 @@ __all__ = [
     "NULL_OBSERVABILITY",
     "NULL_TRACER",
     "Observability",
+    "PRECISION_FLOOR",
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "QualityTelemetry",
+    "RuleAlert",
+    "RuleHealth",
+    "RuleHealthTracker",
     "Span",
+    "StageTrace",
     "Tracer",
     "chrome_trace_events",
     "ensure_observability",
+    "health_snapshot",
+    "render_health_report",
     "render_report",
     "render_span_tree",
     "span_to_dict",
     "write_chrome_trace",
+    "write_health_json",
     "write_trace_jsonl",
 ]

@@ -150,6 +150,115 @@ def render_span_tree(spans: Sequence[Span]) -> List[str]:
     return lines
 
 
+def health_snapshot(tracker, provenance=None) -> Dict[str, object]:
+    """The rule-health JSON payload (``repro monitor --json`` shape).
+
+    ``tracker`` is a :class:`~repro.observability.quality.RuleHealthTracker`;
+    ``provenance`` (optional) a
+    :class:`~repro.observability.provenance.ProvenanceLog` whose buffer
+    statistics are included so operators can see retention pressure.
+    """
+    payload: Dict[str, object] = {
+        "batches": tracker.total_batches,
+        "items": tracker.total_items,
+        "window": tracker.window,
+        "precision_floor": tracker.precision_floor,
+        "baseline_frozen": tracker.baseline is not None,
+        "rules": tracker.report(),
+        "drifted_rules": dict(sorted(tracker.drifted_rules.items())),
+        "rules_below_floor": tracker.rules_below_floor(),
+        "alerts": [
+            {
+                "kind": alert.kind,
+                "rule_ids": list(alert.rule_ids),
+                "batch_id": alert.batch_id,
+                "detail": alert.detail,
+            }
+            for alert in tracker.alerts
+        ],
+    }
+    if provenance is not None:
+        payload["provenance"] = {
+            "retained": len(provenance),
+            "capacity": provenance.capacity,
+            "total_records": provenance.total_records,
+            "evicted_records": provenance.evicted_records,
+        }
+    return payload
+
+
+def _fmt_opt(value, spec: str = ".3f", missing: str = "-") -> str:
+    return format(value, spec) if value is not None else missing
+
+
+def render_health_report(
+    tracker, provenance=None, title: str = "rule health", top: int = 0
+) -> str:
+    """The per-rule health table + alerts as plain text (the CLI view).
+
+    ``top`` limits the table to the N most-firing rules (0 = all); the
+    alert and drift sections always show everything.
+    """
+    lines: List[str] = [f"=== {title} ==="]
+    rule_ids = tracker.seen_rules()
+    rule_ids.sort(key=lambda rule_id: (-tracker.total_fires.get(rule_id, 0), rule_id))
+    shown = rule_ids[:top] if top else rule_ids
+    if shown:
+        lines.append("")
+        lines.append(
+            f"{'rule':<24} {'fires':>6} {'rate':>7} {'base':>7} "
+            f"{'win%':>7} {'prec':>6} {'n':>4}  flags"
+        )
+        for rule_id in shown:
+            health = tracker.health(rule_id)
+            flags = []
+            if health.drifted:
+                flags.append("DRIFT")
+            if health.below_floor:
+                flags.append("BELOW-FLOOR")
+            lines.append(
+                f"{rule_id:<24} {health.fires:>6} "
+                f"{health.fire_rate:>7.3f} {_fmt_opt(health.baseline_rate):>7} "
+                f"{_fmt_opt(health.win_rate):>7} {_fmt_opt(health.precision, '.2f'):>6} "
+                f"{health.precision_sample:>4}  {' '.join(flags)}"
+            )
+        if top and len(rule_ids) > top:
+            lines.append(f"... and {len(rule_ids) - top} more rules")
+    else:
+        lines.append("(no rule activity observed)")
+    if tracker.alerts:
+        lines.append("")
+        lines.append(f"alerts ({len(tracker.alerts)}):")
+        for alert in tracker.alerts:
+            lines.append(
+                f"  [{alert.kind}] batch {alert.batch_id}: "
+                f"{', '.join(alert.rule_ids)}"
+            )
+            lines.append(f"    {alert.detail}")
+    if provenance is not None:
+        lines.append("")
+        lines.append(
+            f"provenance: {len(provenance)} retained / "
+            f"{provenance.total_records} recorded "
+            f"(capacity {provenance.capacity}, "
+            f"evicted {provenance.evicted_records})"
+        )
+    return "\n".join(lines)
+
+
+def write_health_json(tracker, target: PathOrHandle, provenance=None) -> Dict[str, object]:
+    """Write :func:`health_snapshot` as JSON; returns the payload."""
+    payload = health_snapshot(tracker, provenance=provenance)
+    handle, owned = _open_for_write(target)
+    try:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+    return payload
+
+
 def render_report(
     tracer: Optional[Tracer] = None,
     metrics=None,

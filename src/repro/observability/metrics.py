@@ -128,13 +128,33 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
-class MetricsRegistry:
-    """Named, optionally-labelled instruments, created on first touch."""
+#: Default cap on distinct ``rule_id`` label values (see ``observe_fired``).
+DEFAULT_MAX_RULE_LABELS = 512
 
-    def __init__(self) -> None:
+#: The catch-all label value for rules beyond the cardinality cap.
+OTHER_RULE_LABEL = "__other__"
+
+
+class MetricsRegistry:
+    """Named, optionally-labelled instruments, created on first touch.
+
+    ``max_rule_labels`` bounds the per-rule label cardinality of
+    :meth:`observe_fired`: a 10k-rule ruleset must not mint 10k counter
+    series. The first ``max_rule_labels`` distinct rule ids (highest
+    fire counts first within each call) get their own
+    ``rule_fired_total{rule_id=}`` series; everything beyond the cap
+    aggregates into the ``__other__`` bucket, so totals are conserved
+    while the instrument table stays bounded.
+    """
+
+    def __init__(self, max_rule_labels: int = DEFAULT_MAX_RULE_LABELS) -> None:
+        if max_rule_labels < 1:
+            raise ValueError(f"max_rule_labels must be >= 1, got {max_rule_labels}")
         self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        self.max_rule_labels = max_rule_labels
+        self._rule_label_ids: set = set()
 
     # -- instrument access --------------------------------------------------------
 
@@ -209,14 +229,37 @@ class MetricsRegistry:
             stats.match_time
         )
 
+    def rule_label(self, rule_id: str) -> str:
+        """The bounded label value for one rule id (top-K + ``__other__``).
+
+        Admission is first-come once the registry exists, so a rule that
+        already owns a series keeps it for the life of the registry — a
+        counter must never split across two label values.
+        """
+        if rule_id in self._rule_label_ids:
+            return rule_id
+        if len(self._rule_label_ids) < self.max_rule_labels:
+            self._rule_label_ids.add(rule_id)
+            return rule_id
+        return OTHER_RULE_LABEL
+
     def observe_fired(self, fired: Dict[str, List[str]]) -> None:
-        """Accumulate per-rule fire counts from one fired map."""
+        """Accumulate per-rule fire counts from one fired map.
+
+        Per-rule series are cardinality-bounded: within each call the
+        hottest not-yet-admitted rules claim the remaining label slots
+        (count-descending, id-ascending for determinism); the rest fold
+        into ``rule_fired_total{rule_id=__other__}``.
+        """
         totals: Dict[str, int] = {}
         for rule_ids in fired.values():
             for rule_id in rule_ids:
                 totals[rule_id] = totals.get(rule_id, 0) + 1
-        for rule_id, count in totals.items():
-            self.counter("rule_fired_total", rule_id=rule_id).inc(count)
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        for rule_id, count in ranked:
+            self.counter("rule_fired_total", rule_id=self.rule_label(rule_id)).inc(
+                count
+            )
 
     def observe_text_cache(self) -> None:
         """Snapshot the bounded tokenizer/normalizer LRU caches as gauges.

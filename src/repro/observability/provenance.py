@@ -1,0 +1,477 @@
+"""Label provenance: which rules produced which labels, and why.
+
+Section 2.2's quality loop starts with attribution: before an analyst can
+scale down or repair, "detected quickly" must come with *which rule did
+this*. The pipeline already computes everything needed for that answer —
+per-stage fired rule ids, per-stage votes, the Voting Master's ranked
+output, the Filter's vetoes — but until now it discarded the chain the
+moment the label was emitted. This module keeps it:
+
+* :class:`StageTrace` — one stage's contribution to one item (fired rule
+  ids, weighted votes, vetoes, constraints), captured *during* the normal
+  prediction pass so recording never re-evaluates a rule;
+* :class:`ProvenanceRecord` — the full attribution chain for one final
+  label out of the Chimera pipeline (gate decision → stage traces →
+  voting-master decision → filter outcome);
+* :class:`ProvenanceLog` — a bounded ring buffer of records with a
+  by-item index and JSON-lines spooling, so a week-long never-ending run
+  keeps a complete on-disk trail while the in-memory buffer stays
+  fixed-size.
+
+The two query verbs are the ones analysts actually ask:
+``why(item_id)`` ("why did this item get this label?") and
+``blame(rule_id)`` ("what has this rule been doing?").
+
+Recording is strictly observational: the log is only ever *written* from
+values the pipeline computed anyway, so labels and fired maps are
+byte-identical with provenance on or off (see
+``tests/test_quality_properties.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    IO,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+PathOrHandle = Union[str, IO[str]]
+
+#: One weighted vote as recorded: (label, weight, source). ``source`` is the
+#: prediction's provenance string (``"<stage>:<rule_id>"`` for rule votes,
+#: ``"<stage>:<model>"`` for learning votes).
+VoteTuple = Tuple[str, float, str]
+
+
+def vote_rule_id(source: str) -> str:
+    """The rule id (or model name) at the end of a vote's source chain."""
+    return source.rsplit(":", 1)[-1]
+
+
+@dataclass(slots=True)
+class StageTrace:
+    """One classifier stage's contribution to one item.
+
+    ``fired`` lists every rule id that matched (whitelists, constraints,
+    blacklists); ``votes`` are the surviving weighted predictions the stage
+    handed the Voting Master. A stage that was routed around by its
+    circuit breaker simply has no trace for that item.
+
+    Slotted and unfrozen: one trace is built per stage per classified
+    item, so construction cost is on the 5%-overhead budget
+    (``benchmarks/bench_quality_overhead.py``) — frozen dataclasses pay
+    ``object.__setattr__`` per field, ~3x slower. Treat instances as
+    immutable anyway.
+    """
+
+    stage: str
+    fired: Tuple[str, ...] = ()
+    votes: Tuple[VoteTuple, ...] = ()
+    vetoed: Tuple[str, ...] = ()
+    constrained_to: Optional[Tuple[str, ...]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "fired": list(self.fired),
+            "votes": [list(v) for v in self.votes],
+            "vetoed": list(self.vetoed),
+            "constrained_to": (
+                list(self.constrained_to) if self.constrained_to is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StageTrace":
+        constrained = payload.get("constrained_to")
+        return cls(
+            stage=payload["stage"],
+            fired=tuple(payload.get("fired", ())),
+            votes=tuple(
+                (label, float(weight), source)
+                for label, weight, source in payload.get("votes", ())
+            ),
+            vetoed=tuple(payload.get("vetoed", ())),
+            constrained_to=tuple(constrained) if constrained is not None else None,
+        )
+
+
+@dataclass(slots=True)
+class ProvenanceRecord:
+    """The full attribution chain for one item through the pipeline.
+
+    ``source`` mirrors :class:`~repro.chimera.pipeline.ItemResult.source`
+    (``gate`` / ``pipeline`` / ``no-votes`` / ``low-confidence-or-filtered``)
+    plus ``gate-reject`` for junk the Gate Keeper refused. ``ranked`` is
+    the Voting Master's normalized candidate list; ``final_vote`` is its
+    above-threshold pick (None when it declined). ``filter_fired`` /
+    ``filter_vetoed`` record the Filter's last word.
+
+    Slotted and unfrozen for the same per-item construction-cost reason
+    as :class:`StageTrace`; treat instances as immutable.
+    """
+
+    seq: int
+    item_id: str
+    batch_id: str
+    label: Optional[str]
+    source: str
+    gate_action: str = ""
+    gate_reason: str = ""
+    stages: Tuple[StageTrace, ...] = ()
+    ranked: Tuple[Tuple[str, float], ...] = ()
+    final_vote: Optional[Tuple[str, float]] = None
+    filter_fired: Tuple[str, ...] = ()
+    filter_vetoed: Tuple[str, ...] = ()
+    # Memoized fired_rule_ids / winning_rule_ids — computed once, read by
+    # both the log's blame scan and the health tracker on the hot path.
+    _fired: Optional[Tuple[str, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _winners: Optional[Tuple[str, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def fired_rule_ids(self) -> Tuple[str, ...]:
+        """Every distinct rule id that fired anywhere in the chain."""
+        fired = self._fired
+        if fired is None:
+            stages = self.stages
+            if not self.filter_fired and len(stages) == 1:
+                # Fast path: a single stage's verdict visits each rule at
+                # most once, so its fired tuple is already distinct.
+                fired = stages[0].fired
+            else:
+                merged: Dict[str, None] = {}
+                for trace in stages:
+                    for rule_id in trace.fired:
+                        merged[rule_id] = None
+                for rule_id in self.filter_fired:
+                    merged[rule_id] = None
+                fired = tuple(merged)
+            self._fired = fired
+        return fired
+
+    def winning_rule_ids(self) -> Tuple[str, ...]:
+        """Rule ids whose stage vote matches the final label."""
+        winners = self._winners
+        if winners is None:
+            if self.label is None:
+                winners = ()
+            else:
+                found: List[str] = []
+                for trace in self.stages:
+                    for label, _weight, source in trace.votes:
+                        if label == self.label:
+                            rule_id = vote_rule_id(source)
+                            if rule_id in trace.fired and rule_id not in found:
+                                found.append(rule_id)
+                winners = tuple(found)
+            self._winners = winners
+        return winners
+
+    def stage_trace(self, stage: str) -> Optional[StageTrace]:
+        for trace in self.stages:
+            if trace.stage == stage:
+                return trace
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "item_id": self.item_id,
+            "batch_id": self.batch_id,
+            "label": self.label,
+            "source": self.source,
+            "gate_action": self.gate_action,
+            "gate_reason": self.gate_reason,
+            "stages": [trace.to_dict() for trace in self.stages],
+            "ranked": [list(pair) for pair in self.ranked],
+            "final_vote": list(self.final_vote) if self.final_vote else None,
+            "filter_fired": list(self.filter_fired),
+            "filter_vetoed": list(self.filter_vetoed),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProvenanceRecord":
+        final_vote = payload.get("final_vote")
+        return cls(
+            seq=int(payload["seq"]),
+            item_id=payload["item_id"],
+            batch_id=payload.get("batch_id", ""),
+            label=payload.get("label"),
+            source=payload.get("source", ""),
+            gate_action=payload.get("gate_action", ""),
+            gate_reason=payload.get("gate_reason", ""),
+            stages=tuple(
+                StageTrace.from_dict(entry) for entry in payload.get("stages", ())
+            ),
+            ranked=tuple(
+                (label, float(weight)) for label, weight in payload.get("ranked", ())
+            ),
+            final_vote=(
+                (final_vote[0], float(final_vote[1])) if final_vote else None
+            ),
+            filter_fired=tuple(payload.get("filter_fired", ())),
+            filter_vetoed=tuple(payload.get("filter_vetoed", ())),
+        )
+
+
+def render_record(record: ProvenanceRecord) -> List[str]:
+    """A human-readable account of one record's attribution chain."""
+    lines = [
+        f"item {record.item_id} (batch {record.batch_id or '-'}, seq {record.seq}): "
+        f"{record.label if record.label else 'unclassified'} [{record.source}]"
+    ]
+    if record.gate_action:
+        gate = f"  gate: {record.gate_action}"
+        if record.gate_reason:
+            gate += f" ({record.gate_reason})"
+        lines.append(gate)
+    for trace in record.stages:
+        fired = ", ".join(trace.fired) if trace.fired else "-"
+        lines.append(f"  stage {trace.stage}: fired [{fired}]")
+        for label, weight, source in trace.votes:
+            lines.append(f"    vote {label} ({weight:.2f}) via {source}")
+        if trace.constrained_to is not None:
+            lines.append(f"    constrained to {sorted(trace.constrained_to)}")
+        if trace.vetoed:
+            lines.append(f"    vetoed {sorted(trace.vetoed)}")
+    if record.ranked:
+        ranked = ", ".join(f"{label} ({weight:.2f})" for label, weight in record.ranked)
+        lines.append(f"  voting master: {ranked}")
+        if record.final_vote is not None:
+            lines.append(
+                f"  voting master pick: {record.final_vote[0]} "
+                f"({record.final_vote[1]:.2f})"
+            )
+        else:
+            lines.append("  voting master pick: declined (low confidence)")
+    if record.filter_fired or record.filter_vetoed:
+        lines.append(
+            f"  filter: fired [{', '.join(record.filter_fired) or '-'}], "
+            f"vetoed {sorted(record.filter_vetoed)}"
+        )
+    return lines
+
+
+class ProvenanceLog:
+    """Bounded ring buffer of :class:`ProvenanceRecord` with query indexes.
+
+    The in-memory buffer holds at most ``capacity`` records; when a new
+    record would overflow it, the oldest record is evicted (and appended
+    to ``spool`` as one JSON line, when a spool is attached) — the §2.2
+    never-ending session keeps a complete trail on disk while memory
+    stays fixed. Eviction is FIFO, so the per-item index can drop its
+    oldest entry in O(1).
+
+    Only ``why``'s by-item index is maintained eagerly: recording happens
+    once per classified item and is on the telemetry layer's 5%-overhead
+    budget (``benchmarks/bench_quality_overhead.py``), while ``blame`` /
+    ``records_for_type`` are analyst drill-downs, so they scan the
+    bounded buffer at query time instead of taxing the hot path.
+
+    ``spool`` may be a path (opened lazily in append mode) or any
+    writable text handle; :meth:`rotate` force-flushes the whole buffer.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        spool: Optional[PathOrHandle] = None,
+        on_evict: Optional[Callable[[ProvenanceRecord], None]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.spool = spool
+        self.on_evict = on_evict
+        self._records: Deque[ProvenanceRecord] = deque()
+        self._by_item: Dict[str, Deque[ProvenanceRecord]] = {}
+        self._seq = 0
+        self.total_records = 0
+        self.evicted_records = 0
+        self._spool_handle: Optional[IO[str]] = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def record(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        """Append one record; assigns ``record.seq`` when it is 0 (unset)."""
+        seq = record.seq
+        if seq:
+            if seq > self._seq:  # keep next_seq monotonic past explicit seqs
+                self._seq = seq
+        else:
+            self._seq = record.seq = self._seq + 1
+        records = self._records
+        records.append(record)
+        self.total_records += 1
+        bucket = self._by_item.get(record.item_id)
+        if bucket is None:
+            bucket = self._by_item[record.item_id] = deque()
+        bucket.append(record)
+        while len(records) > self.capacity:
+            self._evict()
+        return record
+
+    def _evict(self) -> None:
+        evicted = self._records.popleft()
+        self.evicted_records += 1
+        by_item = self._by_item
+        bucket = by_item.get(evicted.item_id)
+        if bucket and bucket[0] is evicted:  # FIFO: the oldest entry is ours
+            bucket.popleft()
+            if not bucket:
+                del by_item[evicted.item_id]
+        if self.spool is not None:
+            self._spool_one(evicted)
+        if self.on_evict is not None:
+            self.on_evict(evicted)
+
+    def _spool_one(self, record: ProvenanceRecord) -> None:
+        if self.spool is None:
+            return
+        if self._spool_handle is None:
+            if isinstance(self.spool, str):
+                self._spool_handle = open(self.spool, "a")
+            else:
+                self._spool_handle = self.spool
+        self._spool_handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Flush and close an owned spool file (no-op otherwise)."""
+        if self._spool_handle is not None and isinstance(self.spool, str):
+            self._spool_handle.close()
+            self._spool_handle = None
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[ProvenanceRecord]:
+        return list(self._records)
+
+    def why(self, item_id: str) -> List[ProvenanceRecord]:
+        """Every retained record for one item, oldest first.
+
+        The last entry is the item's current label and its full vote
+        chain; earlier entries show how the label evolved across
+        re-classifications.
+        """
+        return list(self._by_item.get(item_id, ()))
+
+    def explain(self, item_id: str) -> str:
+        """``why`` rendered for humans (the CLI's drill-down view)."""
+        records = self.why(item_id)
+        if not records:
+            return f"item {item_id}: no provenance retained"
+        lines: List[str] = []
+        for record in records:
+            lines.extend(render_record(record))
+        return "\n".join(lines)
+
+    def blame(self, rule_id: str) -> List[ProvenanceRecord]:
+        """Every retained record in which ``rule_id`` fired, oldest first.
+
+        Scans the bounded buffer (O(capacity)) — drill-downs are rare,
+        recording is per-item, so the index cost lives here.
+        """
+        return [
+            record
+            for record in self._records
+            if rule_id in record.fired_rule_ids()
+        ]
+
+    def records_for_type(self, type_name: str) -> List[ProvenanceRecord]:
+        """Every retained record whose final label is ``type_name``."""
+        return [record for record in self._records if record.label == type_name]
+
+    def blame_summary(self, rule_id: str) -> Dict[str, object]:
+        """Aggregate view of one rule's retained activity."""
+        records = self.blame(rule_id)
+        labels: Dict[str, int] = {}
+        wins = 0
+        for record in records:
+            if record.label is not None:
+                labels[record.label] = labels.get(record.label, 0) + 1
+            if rule_id in record.winning_rule_ids():
+                wins += 1
+        return {
+            "rule_id": rule_id,
+            "records": len(records),
+            "wins": wins,
+            "labels": dict(sorted(labels.items())),
+            "items": sorted({record.item_id for record in records}),
+        }
+
+    # -- export ------------------------------------------------------------------
+
+    def write_jsonl(self, target: PathOrHandle) -> int:
+        """Write the retained buffer as JSON lines; returns the record count."""
+        if isinstance(target, str):
+            handle: IO[str] = open(target, "w")
+            owned = True
+        else:
+            handle, owned = target, False
+        try:
+            for record in self._records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        finally:
+            if owned:
+                handle.close()
+        return len(self._records)
+
+    def rotate(self) -> int:
+        """Spool every retained record and clear the buffer.
+
+        Returns the number of records rotated out. The snapshot/rotation
+        primitive for week-long runs: call at batch boundaries to keep
+        the full trail on disk without waiting for capacity eviction.
+        """
+        rotated = len(self._records)
+        while self._records:
+            self._evict()
+        return rotated
+
+    @staticmethod
+    def read_jsonl(source: PathOrHandle) -> List[ProvenanceRecord]:
+        """Load records back from a spool/snapshot file."""
+        if isinstance(source, str):
+            handle: IO[str] = open(source, "r")
+            owned = True
+        else:
+            handle, owned = source, False
+        try:
+            return [
+                ProvenanceRecord.from_dict(json.loads(line))
+                for line in handle
+                if line.strip()
+            ]
+        finally:
+            if owned:
+                handle.close()
+
+
+__all__ = [
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "StageTrace",
+    "render_record",
+    "vote_rule_id",
+]
