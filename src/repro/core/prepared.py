@@ -157,10 +157,17 @@ class PreparedItem:
     # -- shard shipping ----------------------------------------------------------
 
     def to_payload(self) -> Dict[str, Any]:
-        """A picklable payload carrying the item and its token views."""
+        """A picklable payload carrying the item and its token views.
+
+        Deliberately minimal — the item record plus the *unfiltered* token
+        tuple only. The stop-word-filtered view is a pure function of it
+        and is rederived on the worker, so shard payload size stays
+        O(items in the shard) and carries no references back to the parent
+        catalog, ruleset, or executor (asserted by the pickle-size
+        regression test).
+        """
         return {
             "item": self.item,
-            "tokens": self.tokens,
             "tokens_with_stopwords": self.tokens_with_stopwords,
         }
 
@@ -168,8 +175,9 @@ class PreparedItem:
     def from_payload(cls, payload: Dict[str, Any]) -> "PreparedItem":
         """Rebuild a prepared item on a worker without re-tokenizing."""
         prepared = cls(payload["item"])
-        prepared._tokens = tuple(payload["tokens"])
-        prepared._tokens_with_stopwords = tuple(payload["tokens_with_stopwords"])
+        tokens_ws = tuple(payload["tokens_with_stopwords"])
+        prepared._tokens_with_stopwords = tokens_ws
+        prepared._tokens = tuple(t for t in tokens_ws if t not in STOPWORDS)
         return prepared
 
     def __repr__(self) -> str:

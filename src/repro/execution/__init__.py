@@ -30,6 +30,15 @@ the wrong tool: rule churn and batch arrival change a sliver of the
 ``rules × items`` grid. :class:`IncrementalExecutor` +
 :class:`MatchStore` (see :mod:`repro.execution.incremental`) maintain the
 fired map as a materialized view and re-evaluate only the delta.
+
+The compiled execution layer (:mod:`repro.execution.compiler`, DESIGN.md
+§11) removes the remaining per-candidate interpretive overhead:
+:class:`RuleSetCompiler` lowers the whole rule set into one combined
+matcher (:class:`CompiledRuleSet` — flattened Aho–Corasick tiers over a
+:class:`TokenAutomaton` plus precompiled verification closures) consumed
+by the ``compiled=True`` mode of the indexed, incremental, and
+partitioned executors. Fired maps stay byte-identical to the interpreted
+paths; only the cost changes.
 """
 
 from repro.core.prepared import (
@@ -39,6 +48,8 @@ from repro.core.prepared import (
     prepare_all,
     prepare_cached,
 )
+from repro.execution.automaton import TokenAutomaton
+from repro.execution.compiler import CompiledRuleSet, RuleSetCompiler
 from repro.execution.data_index import DataIndex
 from repro.execution.executor import ExecutionStats, IndexedExecutor, NaiveExecutor
 from repro.execution.incremental import IncrementalExecutor, MatchStore
@@ -58,9 +69,10 @@ from repro.execution.resilience import (
     WorkerHang,
     validate_shard_output,
 )
-from repro.execution.rule_index import RuleIndex
+from repro.execution.rule_index import RuleIndex, rarest_anchor
 
 __all__ = [
+    "CompiledRuleSet",
     "CorruptShardOutput",
     "DataIndex",
     "DegradedRunError",
@@ -76,12 +88,15 @@ __all__ = [
     "PreparedItem",
     "RetryPolicy",
     "RuleIndex",
+    "RuleSetCompiler",
     "ShardFailure",
     "ShardReport",
+    "TokenAutomaton",
     "WorkerCrash",
     "WorkerHang",
     "critical_path",
     "prepare",
+    "rarest_anchor",
     "prepare_all",
     "prepare_cached",
     "validate_shard_output",

@@ -155,7 +155,7 @@ def _run_shard(
     token_frequency: Optional[Dict[str, int]],
     clock: Optional[Callable[[], float]] = None,
 ) -> Tuple[int, Dict[str, List[str]], ExecutionStats]:
-    """Worker entry point: rebuild rules and prepared items, execute.
+    """In-process worker entry point: rebuild rules and items, execute.
 
     ``clock`` is only threaded through for in-process shards (process-pool
     workers keep the default monotonic clock — an arbitrary callable is
@@ -165,6 +165,67 @@ def _run_shard(
     shard_items = [PreparedItem.from_payload(payload) for payload in item_payloads]
     executor = IndexedExecutor(rules, token_frequency=token_frequency, clock=clock)
     fired, stats = executor.run(shard_items)
+    return shard_id, fired, stats
+
+
+def _run_shard_compiled(
+    shard_id: int,
+    artifact: Any,
+    shard_items: Sequence[ItemLike],
+    clock: Optional[Callable[[], float]] = None,
+) -> Tuple[int, Dict[str, List[str]], ExecutionStats]:
+    """In-process compiled shard: one shared artifact, raw items.
+
+    The driver compiles once and every shard (and retry attempt) runs the
+    same read-only artifact — tokenization is fused into matching, so the
+    shard needs no prepared payloads at all.
+    """
+    clk = clock if clock is not None else time.perf_counter
+    started = clk()
+    fired, stats = artifact.execute(shard_items, clock=clock)
+    stats.wall_time = clk() - started
+    return shard_id, fired, stats
+
+
+# Per-process worker state, installed once by the pool initializer. The
+# satellite-1 pickling contract hangs on this: rules (and, in compiled
+# mode, the compiled artifact — re-lowered from its serialized rules by
+# ``CompiledRuleSet.__reduce__``) cross the process boundary once per
+# *worker* via the initializer, so each shard submission carries only its
+# own items and pickle size stays O(shard items).
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _init_worker(
+    rule_payloads: List[Dict[str, Any]],
+    token_frequency: Optional[Dict[str, int]],
+    compiled_artifact: Optional[Any],
+) -> None:
+    _WORKER_STATE["token_frequency"] = token_frequency
+    _WORKER_STATE["compiled"] = compiled_artifact
+    if compiled_artifact is None:
+        _WORKER_STATE["executor"] = IndexedExecutor(
+            rules_from_dicts(rule_payloads), token_frequency=token_frequency
+        )
+
+
+def _run_shard_pooled(
+    shard_id: int, shard_payload: List[Any]
+) -> Tuple[int, Dict[str, List[str]], ExecutionStats]:
+    """Process-pool worker entry point: only the shard's items travel.
+
+    Interpreted mode ships prepared-item payloads and runs the worker's
+    per-process :class:`IndexedExecutor`; compiled mode ships raw items
+    and runs the worker's compiled artifact directly.
+    """
+    artifact = _WORKER_STATE["compiled"]
+    if artifact is not None:
+        started = time.perf_counter()
+        fired, stats = artifact.execute(shard_payload)
+        stats.wall_time = time.perf_counter() - started
+        return shard_id, fired, stats
+    shard_items = [PreparedItem.from_payload(payload) for payload in shard_payload]
+    fired, stats = _WORKER_STATE["executor"].run(shard_items)
     return shard_id, fired, stats
 
 
@@ -182,6 +243,15 @@ class PartitionedExecutor:
     * ``sleep`` — the backoff sleep callable (tests inject a
       :class:`~repro.testing.faults.VirtualSleeper`);
     * ``retry_seed`` — seeds the backoff jitter RNG.
+
+    ``compiled=True`` switches shards to the compiled execution layer
+    (:mod:`repro.execution.compiler`): the driver lowers the rule set once
+    and every in-process shard shares the read-only artifact, while
+    process-pool workers receive it once each through the pool initializer
+    (re-lowered from its serialized rules on arrival — the pickling
+    contract) and shard submissions carry only raw items. The resilience
+    machinery (retry rotation, fault injection, output validation,
+    degraded mode) is identical in both modes.
     """
 
     def __init__(
@@ -197,12 +267,15 @@ class PartitionedExecutor:
         retry_seed: int = 0,
         observability: Optional[Observability] = None,
         clock: Optional[Callable[[], float]] = None,
+        compiled: bool = False,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError(f"shard_timeout must be positive, got {shard_timeout}")
         self.rule_payloads = rules_to_dicts(rules)
+        self.compiled = bool(compiled)
+        self._driver_compiled: Optional[Any] = None
         self.n_workers = n_workers
         self.use_processes = use_processes
         self.token_frequency = token_frequency
@@ -219,16 +292,44 @@ class PartitionedExecutor:
 
     def _shards(
         self, items: Sequence[ItemLike]
-    ) -> Tuple[List[List[Dict[str, Any]]], List[List[str]], float]:
-        """Round-robin shards as prepared payloads, their ids, prepare time."""
+    ) -> Tuple[List[List[Any]], List[List[str]], float]:
+        """Round-robin shards (payloads, or raw items when compiled), ids, time.
+
+        Compiled shards carry the raw item records: the artifact tokenizes
+        inline, so shipping prepared token views would be pure overhead.
+        """
         started = self._clock()
-        shards: List[List[Dict[str, Any]]] = [[] for _ in range(self.n_workers)]
+        shards: List[List[Any]] = [[] for _ in range(self.n_workers)]
         shard_ids: List[List[str]] = [[] for _ in range(self.n_workers)]
-        for index, item in enumerate(items):
-            prepared = prepare(item)
-            shards[index % self.n_workers].append(prepared.to_payload())
-            shard_ids[index % self.n_workers].append(prepared.item_id)
+        if self.compiled:
+            for index, item in enumerate(items):
+                record = item.item if isinstance(item, PreparedItem) else item
+                shards[index % self.n_workers].append(record)
+                shard_ids[index % self.n_workers].append(record.item_id)
+        else:
+            for index, item in enumerate(items):
+                prepared = prepare(item)
+                shards[index % self.n_workers].append(prepared.to_payload())
+                shard_ids[index % self.n_workers].append(prepared.item_id)
         return shards, shard_ids, self._clock() - started
+
+    def _compiled_artifact(self) -> Any:
+        """The driver's compiled artifact (lowered once, reused across runs)."""
+        if self._driver_compiled is None:
+            from repro.execution.compiler import RuleSetCompiler
+
+            compiler = RuleSetCompiler(
+                token_frequency=self.token_frequency,
+                observability=self.observability,
+            )
+            # Compile from the shipped payloads, not the caller's rule
+            # objects: shard semantics are frozen at construction time by
+            # rule_payloads, and the driver must execute the same frozen
+            # rule set the interpreted workers would.
+            self._driver_compiled = compiler.compile(
+                rules_from_dicts(self.rule_payloads)
+            )
+        return self._driver_compiled
 
     def _worker_for(self, shard_id: int, attempt: int) -> int:
         """Rotate a retried shard onto the next worker (re-dispatch)."""
@@ -262,10 +363,16 @@ class PartitionedExecutor:
                     with obs.span(
                         "shard", shard=shard_id, worker=worker, attempt=attempt
                     ):
-                        output = _run_shard(
-                            shard_id, self.rule_payloads, shards[shard_id],
-                            self.token_frequency, clock=self._clock,
-                        )
+                        if self.compiled:
+                            output = _run_shard_compiled(
+                                shard_id, self._compiled_artifact(),
+                                shards[shard_id], clock=self._clock,
+                            )
+                        else:
+                            output = _run_shard(
+                                shard_id, self.rule_payloads, shards[shard_id],
+                                self.token_frequency, clock=self._clock,
+                            )
                 except Exception as exc:  # a real worker fault, not injected
                     outcomes[shard_id] = WorkerCrash(f"shard {shard_id} raised: {exc!r}")
                     continue
@@ -274,10 +381,10 @@ class PartitionedExecutor:
                     output = spec.corrupt_output(output)
                 outcomes[shard_id] = output
             else:
-                future = pool.submit(
-                    _run_shard, shard_id, self.rule_payloads, shards[shard_id],
-                    self.token_frequency,
-                )
+                # Only the shard's own items travel: rules (and the
+                # compiled artifact) reached every worker once, via the
+                # pool initializer.
+                future = pool.submit(_run_shard_pooled, shard_id, shards[shard_id])
                 submitted.append((shard_id, future, spec, worker))
         if submitted:
             with obs.span("gather", shards=len(submitted), attempt=attempt):
@@ -327,6 +434,11 @@ class PartitionedExecutor:
             started = clock()
             with obs.span("prepare"):
                 shards, shard_item_ids, driver_prepare_time = self._shards(items)
+            driver_compile_time = 0.0
+            if self.compiled:
+                compile_started = clock()
+                self._compiled_artifact()
+                driver_compile_time = clock() - compile_started
             policy = self.retry_policy
             rng = random.Random(self.retry_seed)
             events: List[FaultEvent] = []
@@ -336,7 +448,15 @@ class PartitionedExecutor:
             pool: Optional[ProcessPoolExecutor] = None
             try:
                 if self.use_processes:
-                    pool = ProcessPoolExecutor(max_workers=self.n_workers)
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.n_workers,
+                        initializer=_init_worker,
+                        initargs=(
+                            self.rule_payloads,
+                            self.token_frequency,
+                            self._compiled_artifact() if self.compiled else None,
+                        ),
+                    )
                 pending = list(range(self.n_workers))
                 attempt = 0
                 while pending and attempt < policy.max_attempts:
@@ -436,6 +556,7 @@ class PartitionedExecutor:
                             )
                         )
             total.prepare_time += driver_prepare_time
+            total.compile_time += driver_compile_time
             total.wall_time = clock() - started
             run_span.set_attribute("rule_evaluations", total.rule_evaluations)
             run_span.set_attribute("matches", total.matches)

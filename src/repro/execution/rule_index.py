@@ -30,6 +30,29 @@ from repro.utils.text import tokenize
 _RESIDUE_KEY = None
 
 
+def rarest_anchor(tokens: Sequence[str], token_frequency: Dict[str, int]) -> str:
+    """The anchor token a sequence rule is keyed under — deterministic.
+
+    This tiebreak is a *shared contract* between :class:`RuleIndex` and the
+    compiled layer (:mod:`repro.execution.compiler`): both must pick the
+    same anchor for the same rule, or their candidate sets — and therefore
+    the ``evaluations_per_item`` stat the benchmark series compare — drift
+    apart. Ranking, best first:
+
+    1. lowest corpus frequency (tokens *missing* from the table rank as
+       frequency 0 — unseen vocabulary is treated as rare, which keeps the
+       posting list short even when the table is stale);
+    2. on frequency ties (including an empty/absent table, where every
+       token ties at 0), the longest token — longer tokens discriminate
+       better;
+    3. on length ties, the lexicographically smallest token.
+
+    The same rule therefore always lands under the same anchor for a given
+    frequency table, regardless of insertion order or dict iteration order.
+    """
+    return min(tokens, key=lambda t: (token_frequency.get(t, 0), -len(t), t))
+
+
 class RuleIndex:
     """Token-anchored rule lookup."""
 
@@ -100,24 +123,8 @@ class RuleIndex:
         return True
 
     def _rarest(self, tokens: Sequence[str]) -> str:
-        """The anchor token a sequence rule is posted under — deterministic.
-
-        Ranking, best first:
-
-        1. lowest corpus frequency (tokens *missing* from the table rank as
-           frequency 0 — unseen vocabulary is treated as rare, which keeps
-           the posting list short even when the table is stale);
-        2. on frequency ties (including an empty/absent table, where every
-           token ties at 0), the longest token — longer tokens discriminate
-           better;
-        3. on length ties, the lexicographically smallest token.
-
-        The same rule therefore always lands under the same anchor for a
-        given frequency table, regardless of insertion order or dict
-        iteration order.
-        """
-        frequency = self._token_frequency
-        return min(tokens, key=lambda t: (frequency.get(t, 0), -len(t), t))
+        """Delegate to the shared :func:`rarest_anchor` tiebreak."""
+        return rarest_anchor(tokens, self._token_frequency)
 
     def candidates(self, item: ItemLike) -> List[Rule]:
         """Rules that might match ``item`` (superset of actual matches).
