@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -314,6 +315,86 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import (
+        ScenarioError,
+        ScenarioReport,
+        ScenarioRunner,
+        SpecError,
+        YamlError,
+        load_scenario,
+    )
+    from repro.scenario.library import library_paths, load_library_scenario
+
+    if args.action == "list":
+        rows = []
+        for name, path in library_paths().items():
+            try:
+                spec = load_scenario(path)
+            except (SpecError, YamlError) as error:
+                print(f"error: {name}: {error}", file=sys.stderr)
+                return 1
+            if args.tag and args.tag not in spec.tags:
+                continue
+            rows.append(spec)
+        if args.json:
+            print(json.dumps([
+                {
+                    "name": spec.name,
+                    "tags": list(spec.tags),
+                    "seed": spec.seed,
+                    "batches": spec.traffic.batches,
+                    "executor": spec.executor.kind,
+                    "exit_checks": len(spec.exit),
+                    "fingerprint": spec.fingerprint(),
+                    "description": spec.description,
+                }
+                for spec in rows
+            ], indent=2))
+        else:
+            for spec in rows:
+                tags = f" [{','.join(spec.tags)}]" if spec.tags else ""
+                print(f"{spec.name}{tags}")
+                print(f"    {spec.description}")
+                print(f"    seed {spec.seed} · {spec.traffic.batches} batches · "
+                      f"executor {spec.executor.kind} · "
+                      f"{len(spec.exit)} exit check(s)")
+        return 0
+
+    if args.spec is None:
+        print(f"error: scenario {args.action} needs a spec argument",
+              file=sys.stderr)
+        return 1
+
+    if args.action == "report":
+        with open(args.spec) as handle:
+            report = ScenarioReport.from_dict(json.load(handle))
+        print(report.render_text(), end="")
+        return 0 if report.passed else 2
+
+    # run
+    try:
+        if os.path.exists(args.spec):
+            spec = load_scenario(args.spec)
+        else:
+            spec = load_library_scenario(args.spec)
+    except (SpecError, YamlError, KeyError) as error:
+        message = error.args[0] if isinstance(error, KeyError) else error
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    try:
+        report = ScenarioRunner(spec, seed=args.seed).run()
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        report.write_json(args.out)
+        print(f"wrote health report -> {args.out}", file=sys.stderr)
+    if not args.quiet:
+        print(report.render_text(), end="")
+    return 0 if report.passed else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -398,6 +479,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rules shown in the table (0 = all)")
     monitor.add_argument("--json", default=None, help="health JSON output path")
     monitor.set_defaults(func=_cmd_monitor)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative end-to-end scenarios (list/run/report)"
+    )
+    scenario.add_argument("action", choices=("list", "run", "report"),
+                          help="list library scenarios, run one, or "
+                               "re-render a saved health JSON")
+    scenario.add_argument("spec", nargs="?", default=None,
+                          help="library scenario name, spec YAML path (run), "
+                               "or health JSON path (report)")
+    scenario.add_argument("--seed", type=int, default=None,
+                          help="override the spec's seed")
+    scenario.add_argument("--tag", default=None,
+                          help="filter `list` by tag (e.g. smoke)")
+    scenario.add_argument("--json", action="store_true",
+                          help="machine-readable `list` output")
+    scenario.add_argument("--out", default=None,
+                          help="write the health report JSON here (run)")
+    scenario.add_argument("--quiet", action="store_true",
+                          help="suppress the rendered text report (run)")
+    scenario.set_defaults(func=_cmd_scenario)
     return parser
 
 

@@ -1,0 +1,39 @@
+"""Declarative scenario harness (ROADMAP item 4).
+
+YAML scenario specs, a validating loader, a fully deterministic runner
+over the ``BatchStream`` → Chimera → executor stack, and per-scenario
+health reports. See DESIGN.md §12 for the schema reference and the
+determinism contract, and ``src/repro/scenario/library/`` for the
+starter scenarios.
+"""
+
+from repro.scenario.report import ExitCheck, ScenarioReport, round6
+from repro.scenario.runner import ScenarioError, ScenarioRunner, run_scenario, sub_seed
+from repro.scenario.spec import (
+    DRIFT_OPS,
+    EXECUTOR_KINDS,
+    ScenarioSpec,
+    SpecError,
+    load_scenario,
+    loads,
+)
+from repro.scenario.yamlio import YamlError, fallback_load, safe_load
+
+__all__ = [
+    "DRIFT_OPS",
+    "EXECUTOR_KINDS",
+    "ExitCheck",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SpecError",
+    "YamlError",
+    "fallback_load",
+    "load_scenario",
+    "loads",
+    "round6",
+    "run_scenario",
+    "safe_load",
+    "sub_seed",
+]

@@ -1,0 +1,47 @@
+"""The shipped scenario library: discovery and loading.
+
+Scenarios live as YAML files in ``src/repro/scenario/library/``. Each is
+a self-contained spec; files tagged ``smoke`` form the fast subset the
+CI scenario matrix runs on every push (the full library runs under
+``pytest -m slow`` and in ``tests/test_scenario_runner.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.scenario.spec import ScenarioSpec, load_scenario
+
+#: The tag marking a scenario as part of the fast CI subset.
+SMOKE_TAG = "smoke"
+
+
+def library_dir() -> str:
+    return os.path.join(os.path.dirname(__file__), "library")
+
+
+def library_paths() -> Dict[str, str]:
+    """Scenario name (file stem) → absolute spec path, sorted by name."""
+    root = library_dir()
+    out: Dict[str, str] = {}
+    if not os.path.isdir(root):
+        return out
+    for entry in sorted(os.listdir(root)):
+        if entry.endswith((".yaml", ".yml")):
+            out[os.path.splitext(entry)[0]] = os.path.join(root, entry)
+    return out
+
+
+def load_library() -> List[ScenarioSpec]:
+    """Load every shipped scenario, sorted by file name."""
+    return [load_scenario(path) for path in library_paths().values()]
+
+
+def load_library_scenario(name: str) -> ScenarioSpec:
+    """Load one shipped scenario by its file stem."""
+    paths = library_paths()
+    if name not in paths:
+        known = ", ".join(sorted(paths)) or "(none)"
+        raise KeyError(f"unknown library scenario {name!r}; known: {known}")
+    return load_scenario(paths[name])

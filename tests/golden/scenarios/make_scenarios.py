@@ -1,0 +1,30 @@
+"""Regenerate the frozen scenario health reports — deliberately.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/scenarios/make_scenarios.py
+
+Any diff in the regenerated ``*.report.json`` files means scenario
+semantics changed; commit the new snapshots only when that change is
+intentional (and say why in the commit message).
+"""
+
+import pathlib
+
+from repro.scenario import load_scenario, run_scenario
+
+HERE = pathlib.Path(__file__).parent
+
+
+def main() -> None:
+    for spec_path in sorted(HERE.glob("*.yaml")):
+        spec = load_scenario(str(spec_path))
+        report = run_scenario(spec)
+        out = HERE / f"{spec_path.stem}.report.json"
+        out.write_text(report.to_json())
+        print(f"wrote {out.name}: passed={report.passed} "
+              f"digest={report.fired_digest}")
+
+
+if __name__ == "__main__":
+    main()

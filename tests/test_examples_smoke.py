@@ -17,6 +17,7 @@ LIGHT_EXAMPLES = [
     "entity_matching.py",
     "kb_curation.py",
     "information_extraction.py",
+    "scenario_harness.py",
 ]
 
 

@@ -172,3 +172,31 @@ class TestCompiledPathReproducesGoldenFiredMap:
         readded = rules_from_dicts(rules_to_dicts(churned))
         executor.add_rules(readded)
         assert canonical(executor.fired_map()) == golden_fired_text
+
+
+class TestGoldenScenarios:
+    """Frozen scenario health reports (tests/golden/scenarios/).
+
+    A scenario report is a pure function of (spec, seed); these snapshots
+    pin the whole event loop — stream draws, drift, churn, classification,
+    fired-map digests, exit evaluation — byte-for-byte. Regenerate only
+    deliberately via ``tests/golden/scenarios/make_scenarios.py``.
+    """
+
+    SCENARIOS = ("golden-quiet", "golden-eventful")
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_report_matches_snapshot_byte_for_byte(self, name):
+        from repro.scenario import load_scenario, run_scenario
+
+        spec_path = GOLDEN / "scenarios" / f"{name}.yaml"
+        frozen = (GOLDEN / "scenarios" / f"{name}.report.json").read_text()
+        report = run_scenario(load_scenario(str(spec_path)))
+        assert report.to_json() == frozen
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_snapshot_passed_its_exit_conditions(self, name):
+        frozen = json.loads(
+            (GOLDEN / "scenarios" / f"{name}.report.json").read_text()
+        )
+        assert frozen["passed"] is True
