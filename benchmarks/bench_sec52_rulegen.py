@@ -9,19 +9,27 @@ rules to be 95% and 92%, respectively."
 
 Scaled workload; shapes asserted: mined >> selected, both tiers'
 crowd-estimated precision >= 92%, high tier >= low tier (within noise).
+
+Timing uses the shared ``_report`` helpers (median of repeated runs, cold
+tokenization caches) so rulegen numbers are comparable across PRs and with
+``bench_rulegen_parallel.py``.
 """
+
+import time
 
 import pytest
 
-from _report import emit
+from _report import emit, median
 from repro.catalog import CatalogGenerator, build_seed_taxonomy
 from repro.crowd import CrowdBudget, VerificationTask, WorkerPool
 from repro.evaluation import ruleset_quality
 from repro.rulegen import RuleGenerator
+from repro.utils.text import clear_caches
 
 SEED = 552
 TRAINING_SIZE = 9000
 TEST_SIZE = 4000
+REPEATS = 3
 
 
 @pytest.fixture(scope="module")
@@ -46,11 +54,22 @@ def crowd_estimate(rules, items, seed):
     return approved / len(sample)
 
 
-def test_sec52_rulegen(benchmark, workload):
+def timed_generate(generator, training, repeats=REPEATS):
+    """(last result, median wall) over ``repeats`` cold runs."""
+    walls = []
+    result = None
+    for _ in range(repeats):
+        clear_caches()
+        started = time.perf_counter()
+        result = generator.generate(training)
+        walls.append(time.perf_counter() - started)
+    return result, median(walls)
+
+
+def test_sec52_rulegen(workload):
     training, test_items = workload
     generator = RuleGenerator(min_support=0.02, q=200, alpha=0.7)
-    result = benchmark.pedantic(lambda: generator.generate(training),
-                                rounds=1, iterations=1)
+    result, wall = timed_generate(generator, training)
 
     high_crowd = crowd_estimate(result.high_confidence, test_items, SEED + 1)
     low_crowd = crowd_estimate(result.low_confidence, test_items, SEED + 2)
@@ -66,6 +85,7 @@ def test_sec52_rulegen(benchmark, workload):
         f"selected low-confidence  : {len(result.low_confidence)} (paper: 37K)",
         f"crowd precision high/low : {high_crowd:.1%} / {low_crowd:.1%} (paper: 95% / 92%)",
         f"truth precision high/low : {high_truth:.1%} / {low_truth:.1%}",
+        f"pipeline wall (median of {REPEATS}) : {wall:.2f}s",
     ]
     emit("E3_sec52_rulegen", lines)
 
@@ -75,12 +95,34 @@ def test_sec52_rulegen(benchmark, workload):
     assert len(result.high_confidence) > 0 and len(result.low_confidence) > 0
 
 
-def test_sec52_mining_speed(benchmark, workload):
-    """Timing row: the sequence-mining step alone."""
+def test_sec52_mining_speed(workload):
+    """Timing row: the sequence-mining step alone, with and without a
+    prebuilt :class:`CorpusIndex` (the postings-reuse satellite)."""
     training, _ = workload
-    from repro.rulegen import mine_frequent_sequences
+    from repro.rulegen import CorpusIndex, mine_frequent_sequences
     from repro.utils.text import tokenize
 
     jeans_titles = [tokenize(t.title) for t in training if t.label == "jeans"]
-    result = benchmark(lambda: mine_frequent_sequences(jeans_titles, 0.02, 4))
+
+    walls_cold = []
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = mine_frequent_sequences(jeans_titles, 0.02, 4)
+        walls_cold.append(time.perf_counter() - started)
+
+    index = CorpusIndex(jeans_titles)
+    index.row_postings  # build once, outside the timed region
+    walls_indexed = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        reused = mine_frequent_sequences(jeans_titles, 0.02, 4, index=index)
+        walls_indexed.append(time.perf_counter() - started)
+
+    emit("E3_sec52_mining_speed", [
+        f"jeans titles={len(jeans_titles)} frequent={len(result)}",
+        f"mine cold (median of {REPEATS})    : {median(walls_cold)*1000:.1f}ms",
+        f"mine indexed (median of {REPEATS}) : {median(walls_indexed)*1000:.1f}ms",
+    ])
     assert result
+    assert reused == result

@@ -5,19 +5,25 @@ trade-off; this sweep maps it at our scale: lower support mines (and
 selects) more rules and buys recall/coverage, at mining cost; precision
 stays pinned by the cleanliness filter. The crossover — where extra mining
 stops adding coverage — is the number an operator needs to pick the knob.
+
+Timing uses the shared ``_report`` helpers (median of repeated cold runs,
+tokenization caches cleared) so rows are comparable across PRs and with
+``bench_sec52_rulegen.py`` / ``bench_rulegen_parallel.py``.
 """
 
 import time
 
 import pytest
 
-from _report import emit
+from _report import emit, median
 from repro.catalog import CatalogGenerator, build_seed_taxonomy
 from repro.evaluation import ruleset_quality
 from repro.rulegen import RuleGenerator
+from repro.utils.text import clear_caches
 
 SEED = 581
 SUPPORTS = [0.10, 0.05, 0.02, 0.01]
+REPEATS = 3
 
 
 @pytest.fixture(scope="module")
@@ -28,25 +34,26 @@ def workload():
     return training, test_items
 
 
-def test_sweep_min_support(benchmark, workload):
+def test_sweep_min_support(workload):
     training, test_items = workload
 
-    def sweep():
-        rows = []
-        for support in SUPPORTS:
+    rows = []
+    for support in SUPPORTS:
+        walls = []
+        result = None
+        for _ in range(REPEATS):
+            clear_caches()
             started = time.perf_counter()
             result = RuleGenerator(min_support=support, q=200).generate(training)
-            elapsed = time.perf_counter() - started
-            quality = ruleset_quality(result.rules, test_items)
-            covered = sum(
-                1 for item in test_items
-                if any(rule.matches(item) for rule in result.rules)
-            )
-            rows.append((support, result.n_mined, result.n_selected,
-                         quality.precision, covered / len(test_items), elapsed))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+            walls.append(time.perf_counter() - started)
+        quality = ruleset_quality(result.rules, test_items)
+        covered = sum(
+            1 for item in test_items
+            if any(rule.matches(item) for rule in result.rules)
+        )
+        rows.append((support, result.n_mined, result.n_selected,
+                     quality.precision, covered / len(test_items),
+                     median(walls)))
 
     lines = [f"{'min_sup':>8s} {'mined':>7s} {'selected':>9s} {'precision':>10s} "
              f"{'item coverage':>14s} {'mine secs':>10s}"]

@@ -187,6 +187,21 @@ def _run_shard_compiled(
     return shard_id, fired, stats
 
 
+def partition_round_robin(items: Sequence[Any], n_shards: int) -> List[List[Any]]:
+    """Deal ``items`` round-robin into ``n_shards`` lists (some may be empty).
+
+    The canonical sharding used across the repo — item ``i`` goes to shard
+    ``i % n_shards`` — extracted so the partitioned executor and the
+    sharded rule generator split work identically.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    shards: List[List[Any]] = [[] for _ in range(n_shards)]
+    for index, item in enumerate(items):
+        shards[index % n_shards].append(item)
+    return shards
+
+
 # Per-process worker state, installed once by the pool initializer. The
 # satellite-1 pickling contract hangs on this: rules (and, in compiled
 # mode, the compiled artifact — re-lowered from its serialized rules by
@@ -299,18 +314,27 @@ class PartitionedExecutor:
         inline, so shipping prepared token views would be pure overhead.
         """
         started = self._clock()
-        shards: List[List[Any]] = [[] for _ in range(self.n_workers)]
-        shard_ids: List[List[str]] = [[] for _ in range(self.n_workers)]
         if self.compiled:
-            for index, item in enumerate(items):
-                record = item.item if isinstance(item, PreparedItem) else item
-                shards[index % self.n_workers].append(record)
-                shard_ids[index % self.n_workers].append(record.item_id)
+            records = [
+                item.item if isinstance(item, PreparedItem) else item
+                for item in items
+            ]
+            shards = partition_round_robin(records, self.n_workers)
+            shard_ids = [
+                [record.item_id for record in shard] for shard in shards
+            ]
         else:
-            for index, item in enumerate(items):
-                prepared = prepare(item)
-                shards[index % self.n_workers].append(prepared.to_payload())
-                shard_ids[index % self.n_workers].append(prepared.item_id)
+            prepared_shards = partition_round_robin(
+                [prepare(item) for item in items], self.n_workers
+            )
+            shards = [
+                [prepared.to_payload() for prepared in shard]
+                for shard in prepared_shards
+            ]
+            shard_ids = [
+                [prepared.item_id for prepared in shard]
+                for shard in prepared_shards
+            ]
         return shards, shard_ids, self._clock() - started
 
     def _compiled_artifact(self) -> Any:

@@ -17,6 +17,7 @@ from repro.maintenance.overlap import OverlapPair, find_overlaps
 from repro.maintenance.staleness import RuleHealth, StalenessMonitor
 from repro.maintenance.subsumption import (
     SubsumptionPair,
+    dedupe_sequence_rules,
     find_subsumptions,
     prune_redundant,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "TaxonomyChangePlan",
     "apply_plan",
     "consolidate_rules",
+    "dedupe_sequence_rules",
     "faulty_branches",
     "find_overlaps",
     "find_subsumptions",

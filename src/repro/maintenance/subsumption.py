@@ -121,3 +121,21 @@ def prune_redundant(
     """Rules with the subsumed ones removed (keeps the general rules)."""
     redundant = {pair.redundant_id for pair in pairs}
     return [rule for rule in rules if rule.rule_id not in redundant]
+
+
+def dedupe_sequence_rules(
+    rules: Sequence[Rule],
+    items: Sequence[ProductItem] = (),
+    min_coverage: int = 3,
+) -> Tuple[List[Rule], List[SubsumptionPair]]:
+    """One-call dedup for a freshly generated rule pool.
+
+    Finds subsumptions (syntactic only unless ``items`` enable empirical
+    checks) and prunes the redundant rules, preserving the input order of
+    the survivors. Returns ``(kept, pruned_pairs)`` so callers can report
+    how much the merged pool shrank.
+    """
+    pairs = find_subsumptions(rules, items=items, min_coverage=min_coverage)
+    if not pairs:
+        return list(rules), []
+    return prune_redundant(rules, pairs), list(pairs)

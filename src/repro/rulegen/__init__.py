@@ -5,19 +5,44 @@ length-2..4 sequences into ``a1.*a2.*...*an -> t`` rules, keep only rules
 that make no incorrect predictions on the training data, score each rule's
 confidence, and select a high-coverage subset with the paper's Greedy
 (Algorithm 1) and Greedy-Biased (Algorithm 2) procedures.
+
+``ShardedRuleGenerator`` runs the same pipeline over partitioned shards
+(CFM-BD-style mine/merge/recount) with results identical to the serial
+``RuleGenerator``; ``CorpusIndex`` is the reusable tokenization + inverted
+index both share.
 """
 
-from repro.rulegen.confidence import confidence_score
+from repro.rulegen.confidence import ConfidenceScorer, confidence_score
+from repro.rulegen.corpus import CorpusIndex, TypeView, mine_weighted_reps
+from repro.rulegen.parallel import (
+    ShardedGenerationResult,
+    ShardedRuleGenerator,
+)
 from repro.rulegen.pipeline import GenerationResult, RuleGenerator
-from repro.rulegen.select import CoverageMap, greedy_biased_select, greedy_select
-from repro.rulegen.seqmine import mine_frequent_sequences
+from repro.rulegen.select import (
+    CoverageMap,
+    greedy_biased_select,
+    greedy_biased_select_entries,
+    greedy_select,
+    greedy_select_entries,
+)
+from repro.rulegen.seqmine import exact_min_count, mine_frequent_sequences
 
 __all__ = [
+    "ConfidenceScorer",
+    "CorpusIndex",
     "CoverageMap",
     "GenerationResult",
     "RuleGenerator",
+    "ShardedGenerationResult",
+    "ShardedRuleGenerator",
+    "TypeView",
     "confidence_score",
+    "exact_min_count",
     "greedy_biased_select",
+    "greedy_biased_select_entries",
     "greedy_select",
+    "greedy_select_entries",
     "mine_frequent_sequences",
+    "mine_weighted_reps",
 ]

@@ -1,0 +1,869 @@
+"""Reusable corpus indexes for §5.2 rule induction.
+
+Mining, cleanliness checking, and shard recounts all need the same
+artefacts over a labeled corpus: tokenized titles, a token -> title
+inverted index, and per-type row slices. The serial pipeline rebuilt the
+inverted index on every :func:`~repro.rulegen.seqmine.mine_frequent_sequences`
+call; :class:`CorpusIndex` builds everything once and every stage —
+including repeated mining, quota retries, and the sharded generator's
+exact global recount — reuses it.
+
+Two structural ideas carry the index:
+
+* **Representatives.** Catalog titles repeat heavily (templated vendor
+  feeds), so rows are collapsed to *reps* — distinct token tuples with
+  integer row weights. Support counting over reps with weights is exactly
+  support counting over rows (a sequence is contained in all copies of a
+  title or none), at a fraction of the work.
+* **Integer interning + vectorization.** Tokens are interned to dense
+  ids, postings and low mining levels (L1/L2/L3) run as numpy array ops,
+  and in-order containment falls back to a two-pointer subsequence scan
+  over the (short) rep token tuples for the rare higher levels.
+
+:func:`mine_weighted_reps` is the weighted AprioriAll core shared by the
+in-process and process-pool shard miners: given reps + weights it produces
+the same frequent set and counts as ``mine_frequent_sequences`` over the
+expanded rows (``tests/test_rulegen_parallel.py`` holds it to that).
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.rulegen.seqmine import Sequence_, _generate_candidates
+from repro.utils.text import tokenize_cached
+
+try:  # vectorized L1-L3 counting; the pure-Python path is equivalent
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+def tokens_contain(tokens: Sequence, candidate: Sequence) -> bool:
+    """In-order (not necessarily contiguous) containment.
+
+    Equivalent to ``contains_word_sequence(tokens, candidate)``: the
+    greedy leftmost two-pointer match is complete for subsequence
+    containment. Works in either token-id or string space.
+    """
+    it = iter(tokens)
+    for token in candidate:
+        for seen in it:
+            if seen == token:
+                break
+        else:
+            return False
+    return True
+
+
+def _weighted_groups(codes, rids, rep_weights, n, min_count):
+    """Weighted support counting over ``(code, rep)`` observation pairs.
+
+    Dedupes the pairs (a rep supports a code once however many positional
+    matches produced it), sums rep weights per code, and keeps codes
+    reaching ``min_count``. Returns ``(codes, counts, id_sets)`` as plain
+    Python lists, ordered by code. ``codes * n + rid`` must stay within
+    int64 — true for token and pair codes over any realistic vocabulary.
+    """
+    combo = codes * n + rids
+    if combo.size == 0:
+        return [], [], []
+    # Sort + boundary mask dedups the pairs; measurably faster than
+    # ``_np.unique`` for these array sizes.
+    combo.sort()
+    combo = combo[_np.r_[True, combo[1:] != combo[:-1]]]
+    ucode = combo // n
+    urid = combo % n
+    # ``combo`` is sorted, so each code's reps form a contiguous run;
+    # group boundaries + reduceat replace a second unique pass, and the
+    # integer weight sums stay exact.
+    starts = _np.flatnonzero(_np.r_[True, ucode[1:] != ucode[:-1]])
+    counts = _np.add.reduceat(rep_weights[urid], starts)
+    keep = _np.flatnonzero(counts >= min_count)
+    if keep.size == 0:
+        return [], [], []
+    ends = _np.r_[starts[1:], combo.size]
+    id_sets = [
+        set(urid[starts[i]:ends[i]].tolist()) for i in keep.tolist()
+    ]
+    return ucode[starts[keep]].tolist(), counts[keep].tolist(), id_sets
+
+
+def _mine_levels_vectorized(
+    rep_tokens: Sequence[Tuple[int, ...]],
+    weights: Sequence[int],
+    min_count: int,
+    max_length: int,
+) -> Tuple[Dict[Sequence_, Tuple[int, Set[int]]], Dict[Sequence_, Set[int]], int]:
+    """L1 + L2 + L3 over integer token ids, vectorized.
+
+    Produces exactly what the pure-Python scans and the AprioriAll
+    join-plus-verify do — weighted rep counts and rep-id sets for every
+    frequent token, ordered pair, and ordered triple of in-rep positions
+    (a rep supports a sequence once however many positional matches it
+    has) — but enumeration, dedup, and counting all run as array ops, and
+    no Python-side postings are built at all. Direct enumeration is
+    complete: any frequent triple consists of L1-frequent tokens, so
+    counting every in-rep triple of frequent tokens and keeping those at
+    ``min_count`` yields the same set and counts as the candidate join.
+    Returns ``(frequent, current_sets, level)`` where ``current_sets``
+    holds the deepest mined level to seed the L``level+1``+ join.
+    """
+    n = len(rep_tokens)
+    frequent: Dict[Sequence_, Tuple[int, Set[int]]] = {}
+    lengths = _np.fromiter(map(len, rep_tokens), dtype=_np.int64, count=n)
+    total = int(lengths.sum())
+    if total == 0:
+        return frequent, {}, 1
+    flat = _np.fromiter(
+        chain.from_iterable(rep_tokens), dtype=_np.int64, count=total
+    )
+    reps = _np.repeat(_np.arange(n, dtype=_np.int64), lengths)
+    rep_weights = _np.asarray(weights, dtype=_np.int64)
+
+    # L1.
+    tids, counts, id_sets = _weighted_groups(
+        flat, reps, rep_weights, n, min_count
+    )
+    for tid, count, ids in zip(tids, counts, id_sets):
+        frequent[(tid,)] = (count, ids)
+    if max_length == 1 or not tids:
+        return frequent, {}, 1
+
+    # L2: each rep's frequent tokens form a contiguous run in the masked
+    # flat array, so shifting by ``d = 1..max_run-1`` under a same-rep
+    # mask enumerates every in-rep ordered index pair exactly once.
+    # Tokens are remapped to dense ranks in the (sorted) frequent-token
+    # alphabet so pair and triple codes stay small.
+    vocab = len(tids)
+    tid_arr = _np.asarray(tids, dtype=_np.int64)
+    is_freq = _np.zeros(int(flat.max()) + 1, dtype=bool)
+    is_freq[tid_arr] = True
+    mask = is_freq[flat]
+    arr = _np.searchsorted(tid_arr, flat[mask])
+    rep = reps[mask]
+    if arr.size < 2:
+        return frequent, {}, 1
+    max_run = int(_np.bincount(rep, minlength=n).max())
+    code_chunks = []
+    rep_chunks = []
+    for d in range(1, max_run):
+        same = rep[d:] == rep[:-d]
+        if not same.any():
+            break
+        code_chunks.append(arr[:-d][same] * vocab + arr[d:][same])
+        rep_chunks.append(rep[d:][same])
+    if not code_chunks:
+        return frequent, {}, 1
+    pair_codes, pair_counts, pair_sets = _weighted_groups(
+        _np.concatenate(code_chunks),
+        _np.concatenate(rep_chunks),
+        rep_weights,
+        n,
+        min_count,
+    )
+    current: Dict[Sequence_, Set[int]] = {}
+    for code, count, ids in zip(pair_codes, pair_counts, pair_sets):
+        pair = (tids[code // vocab], tids[code % vocab])
+        frequent[pair] = (count, ids)
+        current[pair] = ids
+    if max_length == 2 or not current:
+        return frequent, current, 2
+
+    # L3: direct ordered-triple counting. A triple of positions
+    # ``(i, i+d1, i+d)`` with ``0 < d1 < d`` lies in one rep exactly when
+    # its endpoints do (rep runs are contiguous), so one same-rep mask per
+    # span ``d`` covers every middle offset.
+    vocab2 = vocab * vocab
+    code_chunks = []
+    rep_chunks = []
+    for d in range(2, max_run):
+        same = rep[d:] == rep[:-d]
+        if not same.any():
+            break
+        ii = _np.flatnonzero(same)
+        first = arr[ii] * vocab2
+        last = arr[ii + d]
+        rep_d = rep[ii]
+        for d1 in range(1, d):
+            code_chunks.append(first + arr[ii + d1] * vocab + last)
+            rep_chunks.append(rep_d)
+    if not code_chunks:
+        return frequent, {}, 3
+    triple_codes, triple_counts, triple_sets = _weighted_groups(
+        _np.concatenate(code_chunks),
+        _np.concatenate(rep_chunks),
+        rep_weights,
+        n,
+        min_count,
+    )
+    current = {}
+    for code, count, ids in zip(triple_codes, triple_counts, triple_sets):
+        triple = (tids[code // vocab2], tids[code % vocab2 // vocab],
+                  tids[code % vocab])
+        frequent[triple] = (count, ids)
+        current[triple] = ids
+    return frequent, current, 3
+
+
+def mine_weighted_reps(
+    rep_tokens: Sequence[Tuple[str, ...]],
+    weights: Sequence[int],
+    min_count: int,
+    max_length: int,
+) -> Dict[Sequence_, Tuple[int, Set[int]]]:
+    """Weighted AprioriAll over distinct reps.
+
+    Returns ``{sequence: (row_count, rep_id_set)}`` for every sequence of
+    length 1..``max_length`` whose weighted support reaches ``min_count``.
+    ``row_count`` sums the weights of the containing reps, so the frequent
+    set and counts match ``mine_frequent_sequences`` over the expanded rows.
+
+    Levels: with integer token ids and numpy, L1-L3 by direct vectorized
+    enumeration (:func:`_mine_levels_vectorized`); otherwise L1 from
+    postings and L2 by direct ordered-pair counting in Python. Deeper
+    levels use the AprioriAll join with rep-set intersection and a
+    two-pointer subsequence verification over the rep tokens.
+    """
+    n = len(rep_tokens)
+    if n == 0 or max_length < 1:
+        return {}
+
+    weight_at = weights.__getitem__
+
+    def weigh(ids: Set[int]) -> int:
+        return sum(map(weight_at, ids))
+
+    probe = next((tokens[0] for tokens in rep_tokens if tokens), None)
+    if _np is not None and isinstance(probe, int):
+        # Integer token ids: vectorized L1-L3, no Python postings at all.
+        frequent, current, length = _mine_levels_vectorized(
+            rep_tokens, weights, min_count, max_length
+        )
+    else:
+        # Pure-Python equivalent (string tokens / absent numpy).
+        postings: Dict[str, Set[int]] = {}
+        for rid, tokens in enumerate(rep_tokens):
+            for token in tokens:
+                bucket = postings.get(token)
+                if bucket is None:
+                    postings[token] = {rid}
+                else:
+                    bucket.add(rid)
+
+        frequent = {}
+
+        # L1.
+        current = {}
+        for token, ids in postings.items():
+            count = weigh(ids)
+            if count >= min_count:
+                current[(token,)] = ids
+                frequent[(token,)] = (count, ids)
+        length = 1
+        if max_length > 1 and current:
+            # L2: count ordered pairs of frequent tokens directly. For
+            # each rep, ``seen`` holds the frequent tokens already
+            # encountered, so every (earlier, current) pair is recorded
+            # exactly once per rep — including (t, t) for repeats.
+            freq1 = {seq[0] for seq in current}
+            pair_ids: Dict[Sequence_, Set[int]] = {}
+            for rid, tokens in enumerate(rep_tokens):
+                seen: Set[str] = set()
+                for token in tokens:
+                    if token not in freq1:
+                        continue
+                    for first in seen:
+                        key = (first, token)
+                        bucket = pair_ids.get(key)
+                        if bucket is None:
+                            pair_ids[key] = {rid}
+                        else:
+                            bucket.add(rid)
+                    seen.add(token)
+            current = {}
+            for pair, ids in pair_ids.items():
+                count = weigh(ids)
+                if count >= min_count:
+                    current[pair] = ids
+                    frequent[pair] = (count, ids)
+            length = 2
+
+    # Deeper levels: AprioriAll join + prune, then verify candidates on
+    # the reps containing both the prefix and the suffix in order. The
+    # two-pointer subsequence scan is ``tokens_contain``, inlined — this
+    # loop is hot and the call frames are measurable.
+    while current and length < max_length:
+        length += 1
+        next_level: Dict[Sequence_, Set[int]] = {}
+        for candidate in _generate_candidates(set(current), length):
+            possible = current[candidate[:-1]] & current[candidate[1:]]
+            if weigh(possible) < min_count:
+                continue
+            ids: Set[int] = set()
+            add = ids.add
+            for rid in possible:
+                it = iter(rep_tokens[rid])
+                for token in candidate:
+                    for seen_token in it:
+                        if seen_token == token:
+                            break
+                    else:
+                        break
+                else:
+                    add(rid)
+            count = weigh(ids)
+            if count >= min_count:
+                next_level[candidate] = ids
+                frequent[candidate] = (count, ids)
+        current = next_level
+    return frequent
+
+
+class CorpusIndex:
+    """Tokenized rows, reps, and inverted indexes over a labeled corpus.
+
+    Tokens are interned to dense integer ids on the way in
+    (``token_ids``/``id_tokens``); every internal structure — positional
+    maps, rep postings, mined sequences — lives in id space, where tuple
+    keys hash an order of magnitude faster than string tuples. The
+    row-facing surface (``tokenized``, ``rep_tokens``, ``row_postings``)
+    stays in string space for the serial pipeline and external callers;
+    :meth:`encode`/:meth:`decode` convert at the boundary.
+    """
+
+    def __init__(
+        self,
+        token_lists: Sequence[Sequence[str]],
+        labels: Optional[Sequence[str]] = None,
+    ):
+        if labels is not None and len(labels) != len(token_lists):
+            raise ValueError(
+                f"{len(labels)} labels for {len(token_lists)} rows"
+            )
+        self.n_rows = len(token_lists)
+        self.labels: Optional[List[str]] = (
+            list(labels) if labels is not None else None
+        )
+
+        token_ids: Dict[str, int] = {}
+        id_tokens: List[str] = []
+        tokenized: List[Tuple[str, ...]] = []
+        rep_of: Dict[Tuple[str, ...], int] = {}
+        rep_tokens: List[Tuple[str, ...]] = []
+        rep_itokens: List[Tuple[int, ...]] = []
+        rep_rows: List[List[int]] = []
+        row_rep: List[int] = []
+        rep_postings: Dict[int, Set[int]] = {}
+        # A rep's single shared label, or None when its rows disagree
+        # (meaningful only when labels are given).
+        rep_label: List[Optional[str]] = []
+
+        for row, tokens in enumerate(token_lists):
+            key = tuple(tokens)
+            tokenized.append(key)
+            rid = rep_of.get(key)
+            if rid is None:
+                rid = len(rep_tokens)
+                rep_of[key] = rid
+                rep_tokens.append(key)
+                rep_rows.append([row])
+                # Vocabulary saturates quickly, so interning is a plain
+                # C-speed lookup comprehension almost always; the except
+                # branch only runs for titles introducing a new token.
+                try:
+                    itoks = [token_ids[token] for token in key]
+                except KeyError:
+                    itoks = []
+                    for token in key:
+                        tid = token_ids.get(token)
+                        if tid is None:
+                            tid = token_ids[token] = len(id_tokens)
+                            id_tokens.append(token)
+                        itoks.append(tid)
+                rep_itokens.append(tuple(itoks))
+                rep_label.append(labels[row] if labels is not None else None)
+            else:
+                rep_rows[rid].append(row)
+                if labels is not None and rep_label[rid] != labels[row]:
+                    rep_label[rid] = None
+            row_rep.append(rid)
+
+        # Labels interned to codes for the token-uniformity index below:
+        # -1 marks mixed-label reps, so "uniformly labeled" stays a single
+        # integer compare.
+        label_ids: Dict[str, int] = {}
+        rep_label_codes: List[int] = []
+        if labels is not None:
+            for label in rep_label:
+                if label is None:
+                    rep_label_codes.append(-1)
+                else:
+                    code = label_ids.get(label)
+                    if code is None:
+                        code = label_ids[label] = len(label_ids)
+                    rep_label_codes.append(code)
+
+        # token id -> containing rep ids, plus (labeled corpora only)
+        # token id -> the one label code shared by *every* rep containing
+        # it, or -2 when they disagree — the cleanliness check's early
+        # exit. One flatten + unique in numpy (the unique also dedups
+        # repeated tokens within a title) rather than half a million dict
+        # probes in the row loop; the pure-Python pass is the fallback
+        # shape.
+        n_reps = len(rep_tokens)
+        token_uniform: List[int] = []
+        if _np is not None and n_reps:
+            lengths = _np.fromiter(
+                map(len, rep_itokens), dtype=_np.int64, count=n_reps
+            )
+            total = int(lengths.sum())
+            flat = _np.fromiter(
+                chain.from_iterable(rep_itokens),
+                dtype=_np.int64,
+                count=total,
+            )
+            rids = _np.repeat(_np.arange(n_reps, dtype=_np.int64), lengths)
+            combo = flat * n_reps + rids
+            if combo.size:
+                combo.sort()
+                combo = combo[_np.r_[True, combo[1:] != combo[:-1]]]
+            utid = combo // n_reps
+            urid = combo % n_reps
+            starts = _np.flatnonzero(_np.r_[True, utid[1:] != utid[:-1]])
+            ends = _np.r_[starts[1:], utid.size]
+            bounds = zip(utid[starts].tolist(), starts.tolist(), ends.tolist())
+            for tid, start, end in bounds:
+                rep_postings[tid] = set(urid[start:end].tolist())
+            if labels is not None and combo.size:
+                codes = _np.asarray(rep_label_codes, dtype=_np.int64)[urid]
+                mins = _np.minimum.reduceat(codes, starts)
+                maxs = _np.maximum.reduceat(codes, starts)
+                uniform = _np.full(len(id_tokens), -2, dtype=_np.int64)
+                uniform[utid[starts]] = _np.where(mins == maxs, mins, -2)
+                token_uniform = uniform.tolist()
+        else:
+            for rid, itoks in enumerate(rep_itokens):
+                for tid in itoks:
+                    ids = rep_postings.get(tid)
+                    if ids is None:
+                        rep_postings[tid] = {rid}
+                    else:
+                        ids.add(rid)
+            if labels is not None:
+                token_uniform = [-2] * len(id_tokens)
+                for tid, ids in rep_postings.items():
+                    codes_seen = {rep_label_codes[rid] for rid in ids}
+                    if len(codes_seen) == 1:
+                        token_uniform[tid] = codes_seen.pop()
+
+        self.token_ids = token_ids
+        self.id_tokens = id_tokens
+        self.tokenized = tokenized
+        self.rep_tokens = rep_tokens
+        self.rep_itokens = rep_itokens
+        self.rep_rows = rep_rows
+        self.row_rep = row_rep
+        self.rep_postings = rep_postings
+        self.rep_label = rep_label
+        self.label_ids = label_ids
+        self.rep_label_codes = rep_label_codes
+        self.token_uniform = token_uniform
+        self.n_reps = len(rep_tokens)
+        # How many times the row-level inverted index has been built —
+        # regression hook for the "build once, mine many" contract.
+        self.row_postings_builds = 0
+        self._row_postings: Optional[Dict[str, Set[int]]] = None
+        self._rows_by_type: Optional[Dict[str, List[int]]] = None
+        self._seq_uniform: Optional[Tuple[Dict[int, int], Dict[int, int]]] = None
+        self._type_views: Dict[str, "TypeView"] = {}
+
+    @classmethod
+    def from_labeled(cls, training: Sequence) -> "CorpusIndex":
+        """Index a sequence of ``LabeledTitle``-likes (``.title``/``.label``).
+
+        Catalog titles repeat heavily, so exact-duplicate titles skip
+        re-tokenization (and the dedup loop then sees the *same* tuple
+        object, making the rep lookup a pointer-fast hash hit).
+        """
+        memo: Dict[str, Tuple[str, ...]] = {}
+        token_lists: List[Tuple[str, ...]] = []
+        for example in training:
+            title = example.title
+            tokens = memo.get(title)
+            if tokens is None:
+                tokens = memo[title] = tokenize_cached(title)
+            token_lists.append(tokens)
+        return cls(token_lists, [example.label for example in training])
+
+    def encode(self, sequence: Sequence[str]) -> Optional[Tuple[int, ...]]:
+        """Token sequence -> id space; ``None`` if any token is unknown."""
+        token_ids = self.token_ids
+        out: List[int] = []
+        for token in sequence:
+            tid = token_ids.get(token)
+            if tid is None:
+                return None
+            out.append(tid)
+        return tuple(out)
+
+    def decode(self, sequence: Sequence[int]) -> Tuple[str, ...]:
+        """Id sequence -> token strings."""
+        id_tokens = self.id_tokens
+        return tuple(id_tokens[tid] for tid in sequence)
+
+    @property
+    def row_postings(self) -> Dict[str, Set[int]]:
+        """token -> *row* ids (lazy; the ``mine_frequent_sequences`` shape).
+
+        Derived by expanding the rep postings, which is cheaper than
+        re-scanning every token of every row, and cached for reuse.
+        """
+        if self._row_postings is None:
+            rep_rows = self.rep_rows
+            id_tokens = self.id_tokens
+            self._row_postings = {
+                id_tokens[tid]: {row for rid in ids for row in rep_rows[rid]}
+                for tid, ids in self.rep_postings.items()
+            }
+            self.row_postings_builds += 1
+        return self._row_postings
+
+    @property
+    def rows_by_type(self) -> Dict[str, List[int]]:
+        """label -> row ids, in row order (requires labels)."""
+        if self.labels is None:
+            raise ValueError("corpus was indexed without labels")
+        if self._rows_by_type is None:
+            by_type: Dict[str, List[int]] = {}
+            for row, label in enumerate(self.labels):
+                rows = by_type.get(label)
+                if rows is None:
+                    by_type[label] = [row]
+                else:
+                    rows.append(row)
+            self._rows_by_type = by_type
+        return self._rows_by_type
+
+    @property
+    def types(self) -> List[str]:
+        return sorted(self.rows_by_type)
+
+    @property
+    def seq_uniform(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Pair/triple code -> the one label code shared by *every* rep
+        containing that sequence in order, or -2 when they disagree.
+
+        The sequence-level analogue of ``token_uniform`` (lazy; requires
+        labels): codes are ``a * V + b`` and ``(a * V + b) * V + c`` over
+        the token-id vocabulary ``V``. A sequence is §7-clean for a type
+        exactly when its uniformity code equals that type's label code,
+        which turns the cleanliness check for every mined sequence of
+        length <= 3 into a dict probe. Built in one global enumeration of
+        in-rep ordered pairs and triples — titles are short, so that is
+        only a few observations per position.
+        """
+        if self.labels is None:
+            raise ValueError("sequence uniformity needs a labeled corpus")
+        if self._seq_uniform is None:
+            vocab = len(self.id_tokens)
+            rep_itokens = self.rep_itokens
+            rep_label_codes = self.rep_label_codes
+            n_reps = self.n_reps
+            pair_uniform: Dict[int, int] = {}
+            triple_uniform: Dict[int, int] = {}
+            if _np is not None and n_reps:
+                lengths = _np.fromiter(
+                    map(len, rep_itokens), dtype=_np.int64, count=n_reps
+                )
+                total = int(lengths.sum())
+                flat = _np.fromiter(
+                    chain.from_iterable(rep_itokens),
+                    dtype=_np.int64,
+                    count=total,
+                )
+                reps = _np.repeat(
+                    _np.arange(n_reps, dtype=_np.int64), lengths
+                )
+                labels_of = _np.asarray(rep_label_codes, dtype=_np.int64)
+                max_run = int(lengths.max()) if n_reps else 0
+
+                # Label codes shifted into [0, span) ride in the low bits
+                # of a composite key, so one in-place sort groups each
+                # sequence code with its labels in order: uniform exactly
+                # when the group's first and last labels agree.
+                span = len(self.label_ids) + 2
+
+                def grouped_uniform(codes, obs_labels):
+                    comp = codes * span + (obs_labels + 2)
+                    comp.sort()
+                    code_s = comp // span
+                    starts = _np.flatnonzero(
+                        _np.r_[True, code_s[1:] != code_s[:-1]]
+                    )
+                    ends = _np.r_[starts[1:], comp.size]
+                    lo = comp[starts] % span
+                    hi = comp[ends - 1] % span
+                    uni = _np.where(lo == hi, lo - 2, -2)
+                    return dict(zip(code_s[starts].tolist(), uni.tolist()))
+
+                code_chunks = []
+                label_chunks = []
+                for d in range(1, max_run):
+                    same = reps[d:] == reps[:-d]
+                    if not same.any():
+                        break
+                    code_chunks.append(
+                        flat[:-d][same] * vocab + flat[d:][same]
+                    )
+                    label_chunks.append(labels_of[reps[d:][same]])
+                if code_chunks:
+                    pair_uniform = grouped_uniform(
+                        _np.concatenate(code_chunks),
+                        _np.concatenate(label_chunks),
+                    )
+                code_chunks = []
+                label_chunks = []
+                for d in range(2, max_run):
+                    same = reps[d:] == reps[:-d]
+                    if not same.any():
+                        break
+                    ii = _np.flatnonzero(same)
+                    first = flat[ii] * vocab
+                    last = flat[ii + d]
+                    obs_labels = labels_of[reps[ii]]
+                    for d1 in range(1, d):
+                        code_chunks.append(
+                            (first + flat[ii + d1]) * vocab + last
+                        )
+                        label_chunks.append(obs_labels)
+                if code_chunks:
+                    triple_uniform = grouped_uniform(
+                        _np.concatenate(code_chunks),
+                        _np.concatenate(label_chunks),
+                    )
+            else:
+                def merge(table: Dict[int, int], code: int, label: int):
+                    got = table.get(code)
+                    if got is None:
+                        table[code] = label
+                    elif got != label:
+                        table[code] = -2
+
+                for rid, itoks in enumerate(rep_itokens):
+                    label = rep_label_codes[rid]
+                    size = len(itoks)
+                    for i in range(size):
+                        first = itoks[i] * vocab
+                        for j in range(i + 1, size):
+                            pair = first + itoks[j]
+                            merge(pair_uniform, pair, label)
+                            for k in range(j + 1, size):
+                                merge(
+                                    triple_uniform,
+                                    pair * vocab + itoks[k],
+                                    label,
+                                )
+            self._seq_uniform = (pair_uniform, triple_uniform)
+        return self._seq_uniform
+
+    def contains(self, rid: int, candidate: Sequence[str]) -> bool:
+        """Does rep ``rid`` contain the (string) ``candidate`` in order?"""
+        encoded = self.encode(candidate)
+        if encoded is None:
+            return False
+        return tokens_contain(self.rep_itokens[rid], encoded)
+
+    def type_view(self, type_name: str) -> "TypeView":
+        view = self._type_views.get(type_name)
+        if view is None:
+            view = self._type_views[type_name] = TypeView(self, type_name)
+        return view
+
+
+class TypeView:
+    """One type's slice of a :class:`CorpusIndex`: local reps and postings.
+
+    Local rep ids (``lid``) index this type's reps in first-appearance
+    order; ``g_reps[lid]`` maps back to the global rep id. ``weights[lid]``
+    counts the type's rows for that rep — the weighted-rep coverage
+    universe selection optimizes over — and ``rep_type_rows[lid]`` can
+    expand a rep back to its row ids when needed.
+    """
+
+    def __init__(self, index: CorpusIndex, type_name: str):
+        self.index = index
+        self.type_name = type_name
+        type_rows = index.rows_by_type.get(type_name)
+        if type_rows is None:
+            raise KeyError(f"no rows labeled {type_name!r}")
+        self.type_rows = type_rows
+        row_rep = index.row_rep
+        lid_of: Dict[int, int] = {}
+        g_reps: List[int] = []
+        weights: List[int] = []
+        for row in type_rows:
+            rid = row_rep[row]
+            lid = lid_of.get(rid)
+            if lid is None:
+                lid_of[rid] = len(g_reps)
+                g_reps.append(rid)
+                weights.append(1)
+            else:
+                weights[lid] += 1
+        self._lid_of = lid_of
+        self.g_reps = g_reps
+        self.weights = weights
+        self.n_rows = len(type_rows)
+        self.n_reps = len(g_reps)
+        self._rep_type_rows: Optional[List[List[int]]] = None
+        self._local_postings: Optional[Dict[int, Set[int]]] = None
+        self._pure_reps: Optional[Set[int]] = None
+
+    @property
+    def rep_type_rows(self) -> List[List[int]]:
+        """lid -> this type's row ids for that rep (lazy; selection works
+        in weighted rep space, so the expansion is only built on demand)."""
+        if self._rep_type_rows is None:
+            lid_of = self._lid_of
+            row_rep = self.index.row_rep
+            expanded: List[List[int]] = [[] for _ in self.g_reps]
+            for row in self.type_rows:
+                expanded[lid_of[row_rep[row]]].append(row)
+            self._rep_type_rows = expanded
+        return self._rep_type_rows
+
+    @property
+    def local_postings(self) -> Dict[int, Set[int]]:
+        """token id -> local rep ids (lazy; for slice recounts)."""
+        if self._local_postings is None:
+            postings: Dict[int, Set[int]] = {}
+            rep_itokens = self.index.rep_itokens
+            for lid, rid in enumerate(self.g_reps):
+                for tid in rep_itokens[rid]:
+                    ids = postings.get(tid)
+                    if ids is None:
+                        postings[tid] = {lid}
+                    else:
+                        ids.add(lid)
+            self._local_postings = postings
+        return self._local_postings
+
+    def mine_slice(
+        self,
+        lids: Sequence[int],
+        min_count: int,
+        max_length: int,
+        identity: bool = False,
+    ) -> Dict[Sequence_, Tuple[int, Set[int]]]:
+        """Mine a slice of this type's reps in-process (shared token ids).
+
+        Returns ``{id_sequence: (row_count, lid_set)}`` — sequences are
+        token-id tuples (decode at the boundary) — with rep ids mapped
+        back to this view's local id space — the same information
+        process-pool workers report (they ship tuples for pickling), so
+        the merge step is path-agnostic. ``identity=True`` declares that
+        ``lids`` is exactly ``range(n_reps)`` (a whole-type slice), which
+        skips the id remap entirely; the returned sets may then alias the
+        miner's internals and must be treated as read-only.
+        """
+        index = self.index
+        g_reps = self.g_reps
+        tokens = [index.rep_itokens[g_reps[lid]] for lid in lids]
+        slice_weights = [self.weights[lid] for lid in lids]
+        mined = mine_weighted_reps(tokens, slice_weights, min_count, max_length)
+        if identity:
+            return mined
+        lid_at = list(lids).__getitem__
+        return {
+            seq: (count, {lid_at(i) for i in ids})
+            for seq, (count, ids) in mined.items()
+        }
+
+    def recount(self, candidate: Sequence[int]) -> Tuple[int, Set[int]]:
+        """Exact weighted support of the id-space ``candidate`` over this
+        type's rows."""
+        postings = self.local_postings
+        sets: List[Set[int]] = []
+        for tid in candidate:
+            ids = postings.get(tid)
+            if ids is None:
+                return 0, set()
+            sets.append(ids)
+        sets.sort(key=len)
+        possible = sets[0] if len(sets) == 1 else sets[0].intersection(*sets[1:])
+        index = self.index
+        g_reps = self.g_reps
+        matched = {
+            lid
+            for lid in possible
+            if tokens_contain(index.rep_itokens[g_reps[lid]], candidate)
+        }
+        weights = self.weights
+        return sum(weights[lid] for lid in matched), matched
+
+    @property
+    def pure_reps(self) -> Set[int]:
+        """Global rep ids every one of whose rows is labeled this type."""
+        if self._pure_reps is None:
+            rep_label = self.index.rep_label
+            type_name = self.type_name
+            self._pure_reps = {
+                rid for rid in self.g_reps if rep_label[rid] == type_name
+            }
+        return self._pure_reps
+
+    def has_impure_match(self, candidate: Sequence[int]) -> bool:
+        """Does any title *not* labeled this type contain ``candidate``?
+
+        The §7 cleanliness check, rep-wise, over the id-space candidate:
+        the candidate is clean exactly when every rep containing it is
+        purely this type, i.e. when its label-uniformity code equals this
+        type's label code. For lengths 1-3 — the bulk of what the miner
+        produces — that is one probe of the index's uniformity tables.
+        Longer candidates fall back to posting intersection plus an
+        in-order verify of the impure remainder.
+        """
+        index = self.index
+        if index.labels is None:
+            raise ValueError("cleanliness needs a labeled corpus")
+        # A type with no purely-labeled rep can never be uniform;
+        # -3 is below every uniformity code.
+        own_code = index.label_ids.get(self.type_name, -3)
+        size = len(candidate)
+        if size == 1:
+            uniform = index.token_uniform[candidate[0]]
+            return uniform != own_code
+        if size <= 3:
+            vocab = len(index.id_tokens)
+            pair_uniform, triple_uniform = index.seq_uniform
+            code = candidate[0] * vocab + candidate[1]
+            if size == 2:
+                uniform = pair_uniform.get(code)
+            else:
+                uniform = triple_uniform.get(code * vocab + candidate[2])
+            if uniform is None:
+                # No rep anywhere contains the sequence: vacuously clean.
+                return False
+            return uniform != own_code
+        g_postings = index.rep_postings
+        token_uniform = index.token_uniform
+        sets: List[Set[int]] = []
+        for tid in candidate:
+            posting = g_postings.get(tid)
+            if posting is None:
+                return False
+            if token_uniform[tid] == own_code:
+                # Every rep containing this token is purely this type, so
+                # no differently-labeled title can contain the candidate.
+                return False
+            sets.append(posting)
+        sets.sort(key=len)
+        possible = sets[0].intersection(*sets[1:])
+        impure = possible - self.pure_reps
+        rep_itokens = index.rep_itokens
+        for rid in impure:
+            if tokens_contain(rep_itokens[rid], candidate):
+                return True
+        return False

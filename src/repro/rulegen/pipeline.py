@@ -10,6 +10,7 @@ from repro.catalog.generator import LabeledTitle
 from repro.core.rule import SequenceRule
 from repro.observability import Observability, ensure_observability
 from repro.rulegen.confidence import confidence_score
+from repro.rulegen.corpus import CorpusIndex
 from repro.rulegen.select import greedy_biased_select
 from repro.rulegen.seqmine import mine_frequent_sequences
 from repro.utils.text import contains_word_sequence, tokenize
@@ -70,28 +71,44 @@ class RuleGenerator:
         self.require_clean = require_clean
         self.observability = ensure_observability(observability)
 
-    def generate(self, training: Sequence[LabeledTitle]) -> GenerationResult:
-        """Run the full pipeline over ``training``."""
-        if not training:
+    def generate(
+        self,
+        training: Sequence[LabeledTitle],
+        index: Optional["CorpusIndex"] = None,
+    ) -> GenerationResult:
+        """Run the full pipeline over ``training``.
+
+        ``index`` may supply a prebuilt
+        :class:`~repro.rulegen.corpus.CorpusIndex` over the same training
+        data; tokenization and the global inverted index are then reused
+        instead of rebuilt.
+        """
+        if not training and index is None:
             raise ValueError("cannot generate rules from empty training data")
         obs = self.observability
         result = GenerationResult()
 
         with obs.span("rulegen.generate", examples=len(training)) as gen_span:
-            with obs.span("rulegen.tokenize"):
-                tokenized: List[List[str]] = [
-                    tokenize(example.title) for example in training
-                ]
-            labels: List[str] = [example.label for example in training]
-            rows_by_type: Dict[str, List[int]] = defaultdict(list)
-            for row, label in enumerate(labels):
-                rows_by_type[label].append(row)
+            if index is not None:
+                if index.labels is None:
+                    raise ValueError("rule generation needs a labeled index")
+                tokenized: Sequence[Sequence[str]] = index.tokenized
+                labels: List[str] = index.labels
+                rows_by_type: Dict[str, List[int]] = index.rows_by_type
+                postings: Dict[str, Set[int]] = index.row_postings
+            else:
+                with obs.span("rulegen.tokenize"):
+                    tokenized = [tokenize(example.title) for example in training]
+                labels = [example.label for example in training]
+                rows_by_type = defaultdict(list)
+                for row, label in enumerate(labels):
+                    rows_by_type[label].append(row)
 
-            # Global token -> rows index, for the cleanliness check.
-            postings: Dict[str, Set[int]] = defaultdict(set)
-            for row, tokens in enumerate(tokenized):
-                for token in tokens:
-                    postings[token].add(row)
+                # Global token -> rows index, for the cleanliness check.
+                postings = defaultdict(set)
+                for row, tokens in enumerate(tokenized):
+                    for token in tokens:
+                        postings[token].add(row)
 
             for type_name in sorted(rows_by_type):
                 with obs.span("rulegen.type", target_type=type_name) as type_span:

@@ -1,0 +1,714 @@
+"""Sharded rule induction: partition-theorem equivalence, exact thresholds.
+
+The contract under test is byte-identity: for any worker count, any
+partition, any ``local_support_factor``, the sharded generator's mined
+sequences and final rule set equal the serial pipeline's exactly (rule
+ids excluded — they are auto-assigned). The hypothesis properties here
+drive that with adversarial corpora: duplicate titles, single-type
+corpora, types too small to slice, empty slices.
+"""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.rulegen.corpus as corpus_module
+from repro.catalog.generator import LabeledTitle
+from repro.rulegen import RuleGenerator, ShardedRuleGenerator
+from repro.rulegen.corpus import (
+    CorpusIndex,
+    mine_weighted_reps,
+    tokens_contain,
+)
+from repro.rulegen.parallel import MineTask, RulegenShardPayload, _mine_shard
+from repro.rulegen.select import (
+    greedy_biased_select,
+    greedy_biased_select_entries,
+    greedy_select_entries,
+)
+from repro.rulegen.seqmine import exact_min_count, mine_frequent_sequences
+from repro.utils.text import contains_word_sequence
+
+
+def rule_key(result):
+    """Id-free identity: what the rules are, not what they're named."""
+    return [
+        (rule.token_sequence, rule.target_type, rule.support, rule.confidence)
+        for rule in result.rules
+    ]
+
+
+def full_key(result):
+    return (rule_key(result), result.n_mined, result.n_clean,
+            result.types_covered)
+
+
+# A deliberately tiny closed vocabulary: shared sequences and duplicate
+# titles are the common case, not the corner case.
+WORDS = st.sampled_from(
+    ["denim", "jeans", "slim", "fit", "sofa", "lamp", "oak", "desk"]
+)
+TITLES = st.lists(WORDS, min_size=1, max_size=5).map(" ".join)
+LABELS = st.sampled_from(["pants", "furniture", "lighting"])
+CORPORA = st.lists(st.tuples(TITLES, LABELS), min_size=1, max_size=20).map(
+    lambda rows: [LabeledTitle(title=t, label=l) for t, l in rows]
+)
+
+TOKEN_ROWS = st.lists(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=5)
+    .map(tuple),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestExactMinCount:
+    """Satellite: exact integer thresholds, no float-ceiling artefacts."""
+
+    def test_paper_scale(self):
+        # The paper's 0.001 over 885K titles.
+        assert exact_min_count(0.001, 885_000) == 885
+        assert exact_min_count(0.01, 100_000) == 1_000
+
+    def test_float_ceiling_artefacts(self):
+        import math
+
+        # 0.07 * 100 == 7.000000000000001 as floats; its ceiling silently
+        # demands an eighth title. The exact path does not.
+        assert math.ceil(0.07 * 100) == 8  # the artefact being regressed
+        assert exact_min_count(0.07, 100) == 7
+        assert exact_min_count(0.1, 10) == 1
+
+    def test_boundaries(self):
+        assert exact_min_count(0.5, 4) == 2
+        assert exact_min_count(0.5, 5) == 3
+        assert exact_min_count(1.0, 7) == 7
+        # Fractional results round up.
+        assert exact_min_count(0.3, 10) == 3
+        assert exact_min_count(0.3, 11) == 4
+
+    def test_floor_of_one(self):
+        assert exact_min_count(0.001, 5) == 1
+        assert exact_min_count(0.01, 10) == 1
+        assert exact_min_count(0.2, 0) == 1
+
+    def test_factor_stays_exact(self):
+        # factor lowers the bar through the same exact path.
+        assert exact_min_count(0.01, 300, factor=0.5) == 2  # ceil(1.5)
+        assert exact_min_count(0.1, 10, factor=1.0) == 1
+        assert exact_min_count(0.1, 100, factor=0.7) == 7
+        assert exact_min_count(0.2, 100, factor=0.35) == 7
+
+    def test_validation(self):
+        for bad_support in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                exact_min_count(bad_support, 10)
+        for bad_factor in (0.0, -1.0, 1.01):
+            with pytest.raises(ValueError):
+                exact_min_count(0.1, 10, factor=bad_factor)
+        with pytest.raises(ValueError):
+            exact_min_count(0.1, -1)
+
+    @given(
+        numerator=st.integers(min_value=1, max_value=1000),
+        n_titles=st.integers(min_value=0, max_value=2000),
+        factor_pct=st.integers(min_value=1, max_value=100),
+    )
+    def test_is_the_exact_ceiling(self, numerator, n_titles, factor_pct):
+        min_support = numerator / 1000
+        factor = factor_pct / 100
+        count = exact_min_count(min_support, n_titles, factor)
+        exact = (
+            Fraction(str(min_support)) * Fraction(str(factor)) * n_titles
+        )
+        # Smallest integer >= exact, floored at 1: sufficient...
+        assert count >= exact
+        assert count >= 1
+        # ...and necessary.
+        if count > 1:
+            assert count - 1 < exact
+
+
+class TestTokensContain:
+    @given(
+        tokens=st.lists(st.integers(min_value=0, max_value=4), max_size=10),
+        candidate=st.lists(st.integers(min_value=0, max_value=4), max_size=4),
+    )
+    def test_matches_reference_semantics(self, tokens, candidate):
+        expected = contains_word_sequence(
+            [str(t) for t in tokens], [str(c) for c in candidate]
+        )
+        assert tokens_contain(tokens, candidate) == expected
+        assert (
+            tokens_contain(tuple(tokens), tuple(candidate)) == expected
+        )
+
+    def test_edges(self):
+        assert tokens_contain([1, 2, 3], [])
+        assert tokens_contain([], [])
+        assert not tokens_contain([], [1])
+        # In-order, non-contiguous, with repeats consumed left to right.
+        assert tokens_contain([1, 9, 2, 9, 1], [1, 2, 1])
+        assert not tokens_contain([1, 2], [2, 1])
+        assert not tokens_contain([1, 1], [1, 1, 1])
+
+
+class TestWeightedMinerEquivalence:
+    """mine_weighted_reps over deduplicated reps == serial row mining."""
+
+    @staticmethod
+    def expand(reps, weights):
+        rows = []
+        for rep, weight in zip(reps, weights):
+            rows.extend([rep] * weight)
+        return rows
+
+    @given(
+        reps=TOKEN_ROWS,
+        weights_seed=st.lists(
+            st.integers(min_value=1, max_value=3), min_size=8, max_size=8
+        ),
+        support_idx=st.integers(min_value=0, max_value=2),
+    )
+    @settings(deadline=None)
+    def test_matches_serial_miner(self, reps, weights_seed, support_idx):
+        min_support = [0.1, 0.25, 0.5][support_idx]
+        weights = weights_seed[: len(reps)]
+        n_rows = sum(weights)
+        min_count = exact_min_count(min_support, n_rows)
+
+        str_reps = [tuple(f"w{t}" for t in rep) for rep in reps]
+        serial = mine_frequent_sequences(
+            self.expand(str_reps, weights), min_support, max_length=4
+        )
+
+        # Integer tokens take the vectorized path...
+        mined_int = mine_weighted_reps(reps, weights, min_count, 4)
+        decoded = {
+            tuple(f"w{t}" for t in seq): count
+            for seq, (count, _) in mined_int.items()
+        }
+        assert decoded == serial
+        # ...string tokens the pure-Python one. Same answer.
+        mined_str = mine_weighted_reps(str_reps, weights, min_count, 4)
+        assert {seq: count for seq, (count, _) in mined_str.items()} == serial
+        # The id sets are the containing reps, exactly.
+        for seq, (count, ids) in mined_int.items():
+            containing = {
+                rid for rid, rep in enumerate(reps)
+                if tokens_contain(rep, seq)
+            }
+            assert ids == containing
+            assert count == sum(weights[rid] for rid in containing)
+
+    def test_empty_inputs(self):
+        assert mine_weighted_reps([], [], 1, 4) == {}
+        assert mine_weighted_reps([()], [1], 1, 4) == {}
+        assert mine_weighted_reps([(1, 2)], [1], 1, 0) == {}
+
+
+class TestPartitionTheorem:
+    """Any partition of the reps, mined locally and merged with one exact
+    recount, reproduces global mining byte-for-byte."""
+
+    @given(
+        reps=TOKEN_ROWS,
+        weights_seed=st.lists(
+            st.integers(min_value=1, max_value=3), min_size=8, max_size=8
+        ),
+        assignment_seed=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=8, max_size=8
+        ),
+        support_idx=st.integers(min_value=0, max_value=2),
+        factor_idx=st.integers(min_value=0, max_value=1),
+    )
+    @settings(deadline=None)
+    def test_local_mine_plus_recount_is_exact(
+        self, reps, weights_seed, assignment_seed, support_idx, factor_idx
+    ):
+        min_support = [0.1, 0.25, 0.5][support_idx]
+        factor = [1.0, 0.6][factor_idx]
+        weights = weights_seed[: len(reps)]
+        assignment = assignment_seed[: len(reps)]
+        n_rows = sum(weights)
+        global_min = exact_min_count(min_support, n_rows)
+
+        global_mined = {
+            seq: count
+            for seq, (count, _) in mine_weighted_reps(
+                reps, weights, global_min, 4
+            ).items()
+        }
+
+        candidates = set()
+        for slice_id in set(assignment):
+            slice_reps = [
+                rep for rep, s in zip(reps, assignment) if s == slice_id
+            ]
+            slice_weights = [
+                w for w, s in zip(weights, assignment) if s == slice_id
+            ]
+            local_min = exact_min_count(
+                min_support, sum(slice_weights), factor
+            )
+            candidates.update(
+                mine_weighted_reps(slice_reps, slice_weights, local_min, 4)
+            )
+
+        # Every globally frequent sequence must surface in some slice
+        # (the partition theorem); the recount then restores exact counts
+        # and drops the locally-frequent-only noise.
+        merged = {}
+        for seq in candidates:
+            count = sum(
+                weight
+                for rep, weight in zip(reps, weights)
+                if tokens_contain(rep, seq)
+            )
+            if count >= global_min:
+                merged[seq] = count
+        assert merged == global_mined
+
+
+SHARDED_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def assert_sharded_matches_serial(training, n_workers, factor, seed,
+                                  min_support=0.2, **kwargs):
+    serial = RuleGenerator(min_support=min_support, q=8).generate(training)
+    sharded = ShardedRuleGenerator(
+        min_support=min_support,
+        q=8,
+        n_workers=n_workers,
+        local_support_factor=factor,
+        min_slice_rows=1,
+        max_slices_per_type=n_workers,
+        seed=seed,
+        **kwargs,
+    ).generate(training)
+    assert full_key(sharded) == full_key(serial)
+    return sharded
+
+
+class TestShardedEqualsSerial:
+    """The tentpole contract: sharded(k workers, any partition) == serial."""
+
+    @given(
+        training=CORPORA,
+        n_workers=st.integers(min_value=1, max_value=4),
+        factor_idx=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @SHARDED_SETTINGS
+    def test_rule_sets_identical(self, training, n_workers, factor_idx, seed):
+        factor = [1.0, 0.7, 0.5][factor_idx]
+        assert_sharded_matches_serial(training, n_workers, factor, seed)
+
+    @given(
+        training=st.lists(TITLES, min_size=1, max_size=15).map(
+            lambda titles: [
+                LabeledTitle(title=t, label="pants") for t in titles
+            ]
+        ),
+        n_workers=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @SHARDED_SETTINGS
+    def test_single_type_corpora(self, training, n_workers, seed):
+        assert_sharded_matches_serial(training, n_workers, 0.7, seed)
+
+    def test_duplicate_titles(self):
+        training = (
+            [LabeledTitle(title="slim fit denim jeans", label="pants")] * 7
+            + [LabeledTitle(title="oak desk lamp", label="lighting")] * 5
+            + [LabeledTitle(title="oak sofa", label="furniture")] * 3
+            # A title duplicated *across* labels: its rep is mixed, so
+            # sequences unique to it must be filtered as unclean.
+            + [
+                LabeledTitle(title="oak desk", label="furniture"),
+                LabeledTitle(title="oak desk", label="lighting"),
+            ]
+        )
+        for n_workers in (1, 2, 3, 4):
+            sharded = assert_sharded_matches_serial(
+                training, n_workers, 0.6, seed=n_workers, min_support=0.1
+            )
+            assert sharded.n_workers == n_workers
+        # The sliced path actually ran: reps exist and the planner cut them.
+        assert sharded.n_tasks > len(
+            {example.label for example in training}
+        )
+
+    def test_types_too_small_to_slice(self):
+        # One type with a single title rides whole even at 4 workers.
+        training = [
+            LabeledTitle(title="slim fit jeans", label="pants"),
+            LabeledTitle(title="oak desk lamp", label="lighting"),
+            LabeledTitle(title="oak desk lamp fit", label="lighting"),
+        ]
+        sharded = assert_sharded_matches_serial(
+            training, 4, 1.0, seed=0, min_support=0.5
+        )
+        assert sharded.n_shards <= 4
+
+    def test_empty_shard_payload(self):
+        task = MineTask(
+            type_name="pants",
+            slice_id=0,
+            n_slices=2,
+            lids=(),
+            rep_tokens=(),
+            weights=(),
+            min_count=1,
+            max_length=4,
+            n_rows=0,
+        )
+        shard_id, reports = _mine_shard(
+            RulegenShardPayload(shard_id=3, tasks=(task,))
+        )
+        assert shard_id == 3
+        assert reports == [("pants", 0, {})]
+
+    def test_process_pool_matches_serial(self):
+        training = [
+            LabeledTitle(title="slim fit denim jeans", label="pants"),
+            LabeledTitle(title="slim denim jeans", label="pants"),
+            LabeledTitle(title="denim jeans slim", label="pants"),
+            LabeledTitle(title="oak desk lamp", label="lighting"),
+            LabeledTitle(title="desk lamp oak", label="lighting"),
+            LabeledTitle(title="oak sofa", label="furniture"),
+        ]
+        sharded = assert_sharded_matches_serial(
+            training, 2, 0.8, seed=1, min_support=0.3, use_processes=True
+        )
+        assert sharded.mode == "processes"
+
+    def test_dedupe_smoke(self):
+        training = [
+            LabeledTitle(title="slim fit denim jeans", label="pants"),
+            LabeledTitle(title="slim denim jeans", label="pants"),
+            LabeledTitle(title="fit denim jeans", label="pants"),
+        ]
+        plain = ShardedRuleGenerator(
+            min_support=0.3, q=8, n_workers=2, min_slice_rows=1,
+            max_slices_per_type=2,
+        ).generate(training)
+        deduped = ShardedRuleGenerator(
+            min_support=0.3, q=8, n_workers=2, min_slice_rows=1,
+            max_slices_per_type=2, dedupe=True,
+        ).generate(training)
+        kept = {tuple(rule.token_sequence) for rule in deduped.rules}
+        assert kept <= {tuple(rule.token_sequence) for rule in plain.rules}
+        assert deduped.n_deduped == plain.n_selected - deduped.n_selected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedRuleGenerator(n_workers=0)
+        with pytest.raises(ValueError):
+            ShardedRuleGenerator(local_support_factor=0.0)
+        with pytest.raises(ValueError):
+            ShardedRuleGenerator(local_support_factor=1.5)
+        with pytest.raises(ValueError):
+            ShardedRuleGenerator(min_slice_rows=0)
+        with pytest.raises(ValueError):
+            ShardedRuleGenerator(max_slices_per_type=0)
+        with pytest.raises(ValueError):
+            ShardedRuleGenerator().generate([])
+
+
+class TestDeterminism:
+    def corpus(self):
+        return [
+            LabeledTitle(title=title, label=label)
+            for title, label in [
+                ("slim fit denim jeans", "pants"),
+                ("slim denim jeans", "pants"),
+                ("denim jeans", "pants"),
+                ("fit denim jeans slim", "pants"),
+                ("oak desk lamp", "lighting"),
+                ("desk lamp", "lighting"),
+                ("oak sofa desk", "furniture"),
+            ]
+        ]
+
+    def test_same_seed_same_partition(self):
+        training = self.corpus()
+        index = CorpusIndex.from_labeled(training)
+
+        def plan(seed):
+            return ShardedRuleGenerator(
+                min_support=0.2, n_workers=4, min_slice_rows=1,
+                max_slices_per_type=4, seed=seed,
+            )._plan_tasks(index)
+
+        assert plan(7) == plan(7)
+        # A different seed permutes slice membership...
+        assert plan(7) != plan(8)
+        # ...but the rule set is identical for every seed regardless.
+        for seed in (7, 8):
+            assert_sharded_matches_serial(training, 4, 0.7, seed)
+
+    def test_worker_counts_all_identical(self):
+        training = self.corpus()
+        keys = set()
+        for n_workers in (1, 2, 3, 4):
+            result = assert_sharded_matches_serial(
+                training, n_workers, 0.5, seed=3, min_support=0.2
+            )
+            keys.add(str(full_key(result)))
+        assert len(keys) == 1
+
+
+class TestCorpusIndexReuse:
+    """Satellite: one postings build, many mining passes."""
+
+    def training(self):
+        return [
+            LabeledTitle(title=title, label=label)
+            for title, label in [
+                ("slim fit denim jeans", "pants"),
+                ("slim denim jeans", "pants"),
+                ("slim denim jeans", "pants"),
+                ("oak desk lamp", "lighting"),
+                ("oak desk lamp", "lighting"),
+                ("oak sofa", "furniture"),
+            ]
+        ]
+
+    def test_postings_built_once_across_generates(self):
+        training = self.training()
+        index = CorpusIndex.from_labeled(training)
+        assert index.row_postings_builds == 0
+        generator = RuleGenerator(min_support=0.2, q=10)
+        baseline = generator.generate(training)
+        first = generator.generate(training, index=index)
+        second = generator.generate(training, index=index)
+        assert index.row_postings_builds == 1
+        assert full_key(first) == full_key(baseline)
+        assert full_key(second) == full_key(baseline)
+
+    def test_mine_with_index_matches_without(self):
+        training = self.training()
+        index = CorpusIndex.from_labeled(training)
+        with_index = mine_frequent_sequences(
+            index.tokenized, 0.2, index=index
+        )
+        without = mine_frequent_sequences(index.tokenized, 0.2)
+        assert with_index == without
+        mine_frequent_sequences(index.tokenized, 0.4, index=index)
+        assert index.row_postings_builds == 1
+
+    def test_index_row_count_mismatch_rejected(self):
+        index = CorpusIndex.from_labeled(self.training())
+        with pytest.raises(ValueError):
+            mine_frequent_sequences([("denim",)], 0.2, index=index)
+
+    def test_sharded_accepts_prebuilt_index(self):
+        training = self.training()
+        index = CorpusIndex.from_labeled(training)
+        direct = ShardedRuleGenerator(
+            min_support=0.2, q=10, n_workers=2, min_slice_rows=1,
+            max_slices_per_type=2,
+        )
+        assert full_key(direct.generate(training, index=index)) == full_key(
+            direct.generate(training)
+        )
+
+    def test_unlabeled_index_rejected(self):
+        index = CorpusIndex([("denim", "jeans")])
+        with pytest.raises(ValueError):
+            ShardedRuleGenerator().generate(
+                [LabeledTitle(title="denim jeans", label="pants")],
+                index=index,
+            )
+
+
+class TestCleanlinessTables:
+    """has_impure_match (uniformity tables + fallback) vs brute force."""
+
+    @given(training=CORPORA)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, training):
+        index = CorpusIndex.from_labeled(training)
+        rep_itokens = index.rep_itokens
+        rep_label = index.rep_label
+        for type_name in index.types:
+            view = index.type_view(type_name)
+            candidates = set()
+            for rid in view.g_reps:
+                tokens = rep_itokens[rid]
+                for length in range(1, min(4, len(tokens)) + 1):
+                    candidates.update(
+                        itertools.combinations(tokens, length)
+                    )
+            for candidate in candidates:
+                brute = any(
+                    rep_label[rid] != type_name
+                    and tokens_contain(rep_itokens[rid], candidate)
+                    for rid in range(index.n_reps)
+                )
+                assert view.has_impure_match(candidate) == brute, (
+                    type_name, index.decode(candidate),
+                )
+
+    def test_requires_labels(self):
+        index = CorpusIndex([("denim", "jeans")], ["pants"])
+        view = index.type_view("pants")
+        index.labels = None
+        with pytest.raises(ValueError):
+            view.has_impure_match((0,))
+
+
+class TestPurePythonFallback:
+    """With numpy masked out, every structure and answer is unchanged."""
+
+    def test_index_and_miner_match_numpy(self, monkeypatch):
+        training = [
+            LabeledTitle(title=title, label=label)
+            for title, label in [
+                ("slim fit denim jeans", "pants"),
+                ("slim denim jeans", "pants"),
+                ("denim jeans slim fit", "pants"),
+                ("oak desk lamp", "lighting"),
+                ("oak desk lamp", "lighting"),
+                ("desk lamp oak", "lighting"),
+                ("oak sofa", "furniture"),
+                ("oak desk", "furniture"),
+            ]
+        ]
+        vec_index = CorpusIndex.from_labeled(training)
+        vec_result = RuleGenerator(min_support=0.2, q=10).generate(training)
+        vec_sharded = ShardedRuleGenerator(
+            min_support=0.2, q=10, n_workers=3, min_slice_rows=1,
+            max_slices_per_type=3, local_support_factor=0.7,
+        ).generate(training)
+
+        monkeypatch.setattr(corpus_module, "_np", None)
+        pure_index = CorpusIndex.from_labeled(training)
+        assert pure_index.rep_postings == vec_index.rep_postings
+        assert pure_index.token_uniform == vec_index.token_uniform
+        assert pure_index.seq_uniform == vec_index.seq_uniform
+        pure_sharded = ShardedRuleGenerator(
+            min_support=0.2, q=10, n_workers=3, min_slice_rows=1,
+            max_slices_per_type=3, local_support_factor=0.7,
+        ).generate(training)
+        assert full_key(pure_sharded) == full_key(vec_sharded)
+        assert full_key(pure_sharded) == full_key(vec_result)
+
+
+class TestWeightedEntrySelection:
+    """Weighted rep-space selection == row-space selection == rule-space."""
+
+    @given(
+        pools=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # confidence idx
+                st.lists(
+                    st.integers(min_value=0, max_value=5),
+                    min_size=0,
+                    max_size=4,
+                ),
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+        weights=st.lists(
+            st.integers(min_value=1, max_value=3), min_size=6, max_size=6
+        ),
+        q=st.integers(min_value=0, max_value=6),
+    )
+    @settings(deadline=None)
+    def test_rep_weights_equal_row_expansion(self, pools, weights, q):
+        confidences = [0.45, 0.65, 0.8, 0.95]
+        # rep i expands to rows offsets[i]..offsets[i]+weights[i]-1.
+        offsets = [0]
+        for weight in weights:
+            offsets.append(offsets[-1] + weight)
+
+        rep_entries = []
+        row_entries = []
+        for order, (conf_idx, rep_ids) in enumerate(pools):
+            confidence = confidences[conf_idx]
+            reps = set(rep_ids)
+            rows = {
+                row
+                for rid in reps
+                for row in range(offsets[rid], offsets[rid + 1])
+            }
+            rep_entries.append((confidence, order, reps, None))
+            row_entries.append((confidence, order, rows, None))
+
+        rep_high, rep_low = greedy_biased_select_entries(
+            rep_entries, q, 0.7, weights
+        )
+        row_high, row_low = greedy_biased_select_entries(row_entries, q, 0.7)
+        assert [e[1] for e in rep_high] == [e[1] for e in row_high]
+        assert [e[1] for e in rep_low] == [e[1] for e in row_low]
+
+        # Supplying precomputed totals (the mined counts) changes nothing.
+        totals = {
+            entry[1]: sum(weights[rid] for rid in entry[2])
+            for entry in rep_entries
+        }
+        tot_high, tot_low = greedy_biased_select_entries(
+            rep_entries, q, 0.7, weights, totals
+        )
+        assert [e[1] for e in tot_high] == [e[1] for e in row_high]
+        assert [e[1] for e in tot_low] == [e[1] for e in row_low]
+
+    def test_entries_match_rule_selection(self):
+        from repro.core.rule import SequenceRule
+
+        specs = [
+            (("denim", "jeans"), 0.95, {0, 1, 2}),
+            (("slim", "jeans"), 0.9, {1, 2, 3}),
+            (("fit", "jeans"), 0.8, {3, 4}),
+            (("oak", "jeans"), 0.6, {0, 4, 5}),
+            (("sofa", "jeans"), 0.5, {2, 5}),
+        ]
+        rules = [
+            SequenceRule(seq, "pants", support=0.5, confidence=confidence)
+            for seq, confidence, _ in specs
+        ]
+        coverage = {
+            rule.rule_id: rows for rule, (_, _, rows) in zip(rules, specs)
+        }
+        entries = [
+            (confidence, order, set(rows), seq)
+            for order, (seq, confidence, rows) in enumerate(specs)
+        ]
+        for q in range(len(specs) + 2):
+            high, low = greedy_biased_select(rules, coverage, q, 0.7)
+            entry_high, entry_low = greedy_biased_select_entries(
+                entries, q, 0.7
+            )
+            assert [tuple(r.token_sequence) for r in high] == [
+                e[3] for e in entry_high
+            ]
+            assert [tuple(r.token_sequence) for r in low] == [
+                e[3] for e in entry_low
+            ]
+
+    def test_covered_preseed_equals_residual_maps(self):
+        entries = [
+            (0.9, 0, {0, 1, 2}, None),
+            (0.85, 1, {2, 3}, None),
+            (0.8, 2, {4}, None),
+        ]
+        covered = {0, 1}
+        preseeded = greedy_select_entries(
+            [(c, o, set(ids), p) for c, o, ids, p in entries],
+            3,
+            covered=set(covered),
+        )
+        residual = greedy_select_entries(
+            [(c, o, set(ids) - covered, p) for c, o, ids, p in entries], 3
+        )
+        assert [e[1] for e in preseeded] == [e[1] for e in residual]
