@@ -9,12 +9,16 @@ system to the previous state quickly."
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analyst.analyst import SimulatedAnalyst
 from repro.catalog.types import ProductItem
 from repro.chimera.pipeline import Chimera
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.repository import RuleRepository
 
 _incident_ids = itertools.count(1)
 
@@ -44,11 +48,29 @@ class Incident:
 
 
 class IncidentManager:
-    """Executes the scale-down / repair / restore playbook on a Chimera."""
+    """Executes the scale-down / repair / restore playbook on a Chimera.
 
-    def __init__(self, chimera: Chimera):
+    When given a :class:`~repro.repository.RuleRepository` whose namespaces
+    are bound to the Chimera's rule sets (:func:`repro.repository.bind_chimera`),
+    every rule the playbook disables or re-enables lands in the repository's
+    audit log attributed to the incident — ``blame`` on a rule answers "why
+    is this off?" with the incident id as provenance.
+    """
+
+    def __init__(self, chimera: Chimera, repository: Optional["RuleRepository"] = None):
         self.chimera = chimera
+        self.repository = repository
         self.incidents: List[Incident] = []
+
+    def _attributed(self, incident: Incident, action: str):
+        """Attribution scope recording playbook mutations against the incident."""
+        if self.repository is None:
+            return nullcontext()
+        return self.repository.attribution(
+            author="incident-manager",
+            reason=f"{action} {incident.incident_id}",
+            provenance=incident.incident_id,
+        )
 
     def open_incident(self, affected_types: Sequence[str], at: float = 0.0) -> Incident:
         if not affected_types:
@@ -162,12 +184,13 @@ class IncidentManager:
         if incident.kind == "rule-quality":
             self._scale_down_rules(incident)
             return
-        for type_name in incident.affected_types:
-            disabled = self.chimera.rule_stage.rules.disable_type(type_name)
-            attr_disabled = self.chimera.attr_stage.rules.disable_type(type_name)
-            incident.disabled_rule_ids[type_name] = disabled + attr_disabled
-            self.chimera.voting.suppressed_types.add(type_name)
-            self.chimera.learning_stage.suppressed_types.add(type_name)
+        with self._attributed(incident, "scale down"):
+            for type_name in incident.affected_types:
+                disabled = self.chimera.rule_stage.rules.disable_type(type_name)
+                attr_disabled = self.chimera.attr_stage.rules.disable_type(type_name)
+                incident.disabled_rule_ids[type_name] = disabled + attr_disabled
+                self.chimera.voting.suppressed_types.add(type_name)
+                self.chimera.learning_stage.suppressed_types.add(type_name)
         incident.status = "scaled-down"
         incident.notes.append(
             f"suppressed {len(incident.affected_types)} types, "
@@ -185,19 +208,20 @@ class IncidentManager:
     def _scale_down_rules(self, incident: Incident) -> None:
         """Disable exactly the incident's named rules, wherever they live."""
         missing: List[str] = []
-        for rule_id in incident.rule_ids:
-            found = False
-            for stage_name, rules in self._rule_stages():
-                if rule_id in rules:
-                    found = True
-                    if rules.get(rule_id).enabled:
-                        rules.disable(rule_id)
-                        incident.disabled_rule_ids.setdefault(
-                            stage_name, []
-                        ).append(rule_id)
-                    break
-            if not found:
-                missing.append(rule_id)
+        with self._attributed(incident, "scale down"):
+            for rule_id in incident.rule_ids:
+                found = False
+                for stage_name, rules in self._rule_stages():
+                    if rule_id in rules:
+                        found = True
+                        if rules.is_enabled(rule_id):
+                            rules.disable(rule_id)
+                            incident.disabled_rule_ids.setdefault(
+                                stage_name, []
+                            ).append(rule_id)
+                        break
+                if not found:
+                    missing.append(rule_id)
         incident.status = "scaled-down"
         disabled = sum(len(v) for v in incident.disabled_rule_ids.values())
         incident.notes.append(
@@ -235,17 +259,18 @@ class IncidentManager:
         """Re-enable what scale-down disabled and lift the suppressions."""
         if incident.status not in ("scaled-down", "repaired"):
             raise ValueError(f"cannot restore incident in state {incident.status!r}")
-        for type_name, rule_ids in incident.disabled_rule_ids.items():
-            for rule_id in rule_ids:
-                if rule_id in self.chimera.rule_stage.rules:
-                    self.chimera.rule_stage.rules.enable(rule_id)
-                elif rule_id in self.chimera.attr_stage.rules:
-                    self.chimera.attr_stage.rules.enable(rule_id)
-                elif rule_id in self.chimera.filter.rules:
-                    self.chimera.filter.rules.enable(rule_id)
-        for type_name in incident.affected_types:
-            self.chimera.voting.suppressed_types.discard(type_name)
-            self.chimera.learning_stage.suppressed_types.discard(type_name)
+        with self._attributed(incident, "restore"):
+            for type_name, rule_ids in incident.disabled_rule_ids.items():
+                for rule_id in rule_ids:
+                    if rule_id in self.chimera.rule_stage.rules:
+                        self.chimera.rule_stage.rules.enable(rule_id)
+                    elif rule_id in self.chimera.attr_stage.rules:
+                        self.chimera.attr_stage.rules.enable(rule_id)
+                    elif rule_id in self.chimera.filter.rules:
+                        self.chimera.filter.rules.enable(rule_id)
+            for type_name in incident.affected_types:
+                self.chimera.voting.suppressed_types.discard(type_name)
+                self.chimera.learning_stage.suppressed_types.discard(type_name)
         incident.status = "closed"
         incident.notes.append("restored")
 

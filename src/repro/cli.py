@@ -411,6 +411,112 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if report.passed else 2
 
 
+def _cmd_repo(args: argparse.Namespace) -> int:
+    from repro.repository import RepositoryError, RuleRepository
+
+    try:
+        with RuleRepository.open(args.root) as repository:
+            return _run_repo_action(repository, args)
+    except RepositoryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_repo_action(repository, args: argparse.Namespace) -> int:
+    if args.action == "log":
+        entries = repository.changes(namespace=args.ns, limit=args.limit)
+        if args.json:
+            print(json.dumps([entry.to_dict() for entry in entries], indent=2))
+        else:
+            for entry in entries:
+                print(entry.describe())
+        return 0
+
+    if args.action == "blame":
+        entries = repository.blame(args.rule_id, namespace=args.ns)
+        if not entries:
+            print(f"error: no recorded changes for rule {args.rule_id!r}",
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps([entry.to_dict() for entry in entries], indent=2))
+        else:
+            for entry in entries:
+                line = entry.describe()
+                if entry.provenance:
+                    line += f" <- {entry.provenance}"
+                print(line)
+        return 0
+
+    if args.action == "snapshot":
+        taken = repository.snapshot(
+            args.name, author=args.author, reason=args.reason,
+            namespaces=[args.ns] if args.ns else None,
+        )
+        for namespace, snap in sorted(taken.items()):
+            print(f"snapshot {args.name!r} [{namespace}]: "
+                  f"{len(snap.entries)} rules")
+        return 0
+
+    if args.action == "diff":
+        refs = [None if ref in ("HEAD", "-") else ref for ref in (args.a, args.b)]
+        diffs = repository.diff(
+            refs[0], refs[1],
+            namespaces=[args.ns] if args.ns else None,
+        )
+        if args.json:
+            print(json.dumps(
+                {ns: diff.to_dict() for ns, diff in sorted(diffs.items())},
+                indent=2,
+            ))
+            return 0
+        clean = True
+        for namespace, diff in sorted(diffs.items()):
+            if diff.empty:
+                continue
+            clean = False
+            print(f"[{namespace}]")
+            for label in ("added", "removed", "replaced", "enabled", "disabled"):
+                for rule_id in getattr(diff, label):
+                    print(f"  {label:<9} {rule_id}")
+        if clean:
+            print("no differences")
+        return 0
+
+    if args.action == "rollback":
+        result = repository.rollback(
+            args.name, author=args.author, reason=args.reason,
+            namespaces=[args.ns] if args.ns else None,
+        )
+        print(
+            f"rolled back to {args.name!r}: "
+            f"{result.flips} flips, {result.replaced} replaced, "
+            f"{result.added} re-added, {result.removed} removed "
+            f"across {len(result.namespaces)} namespace(s)"
+        )
+        return 0
+
+    if args.action == "import":
+        from repro.core.ruleset import RuleSet  # noqa: F811 — local alias
+
+        ruleset = load_ruleset(args.ruleset)
+        state_ids = set(repository.rule_ids(args.ns or "chimera"))
+        namespace = args.ns or "chimera"
+        count = 0
+        with repository.attribution(args.author, f"import {args.ruleset}"):
+            for rule in ruleset:
+                if rule.rule_id in state_ids:
+                    continue
+                repository.add(namespace, rule, author=args.author,
+                               reason=f"import {args.ruleset}")
+                count += 1
+        print(f"imported {count} rules into [{namespace}]")
+        return 0
+
+    print(f"error: unknown repo action {args.action!r}", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -526,6 +632,67 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--quiet", action="store_true",
                           help="suppress the rendered text report (run)")
     scenario.set_defaults(func=_cmd_scenario)
+
+    repo = sub.add_parser(
+        "repo",
+        help="versioned rule repository (log/diff/snapshot/rollback/blame)",
+    )
+    repo_sub = repo.add_subparsers(dest="action", required=True)
+
+    def repo_common(p):
+        p.add_argument("--root", required=True,
+                       help="repository directory (holds changelog.jsonl)")
+        p.add_argument("--ns", default=None,
+                       help="restrict to one namespace (default: all)")
+
+    repo_log = repo_sub.add_parser("log", help="show the audit log")
+    repo_common(repo_log)
+    repo_log.add_argument("--limit", type=int, default=None,
+                          help="show only the last N entries")
+    repo_log.add_argument("--json", action="store_true")
+    repo_log.set_defaults(func=_cmd_repo)
+
+    repo_blame = repo_sub.add_parser(
+        "blame", help="every change touching one rule, newest first"
+    )
+    repo_common(repo_blame)
+    repo_blame.add_argument("rule_id")
+    repo_blame.add_argument("--json", action="store_true")
+    repo_blame.set_defaults(func=_cmd_repo)
+
+    repo_snap = repo_sub.add_parser("snapshot", help="take a named snapshot")
+    repo_common(repo_snap)
+    repo_snap.add_argument("name")
+    repo_snap.add_argument("--author", default="cli")
+    repo_snap.add_argument("--reason", default="")
+    repo_snap.set_defaults(func=_cmd_repo)
+
+    repo_diff = repo_sub.add_parser(
+        "diff", help="set-compare two snapshots (use HEAD for live state)"
+    )
+    repo_common(repo_diff)
+    repo_diff.add_argument("a", help="snapshot name or HEAD")
+    repo_diff.add_argument("b", help="snapshot name or HEAD")
+    repo_diff.add_argument("--json", action="store_true")
+    repo_diff.set_defaults(func=_cmd_repo)
+
+    repo_rollback = repo_sub.add_parser(
+        "rollback", help="restore namespaces to a named snapshot (delta ops only)"
+    )
+    repo_common(repo_rollback)
+    repo_rollback.add_argument("name")
+    repo_rollback.add_argument("--author", default="cli")
+    repo_rollback.add_argument("--reason", default="")
+    repo_rollback.set_defaults(func=_cmd_repo)
+
+    repo_import = repo_sub.add_parser(
+        "import", help="import a ruleset JSON into a namespace"
+    )
+    repo_common(repo_import)
+    repo_import.add_argument("ruleset", help="ruleset JSON (save_ruleset format)")
+    repo_import.add_argument("--author", default="cli")
+    repo_import.set_defaults(func=_cmd_repo)
+
     return parser
 
 

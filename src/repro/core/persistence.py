@@ -10,9 +10,9 @@ precision estimates + audit trail) as plain JSON.
 from __future__ import annotations
 
 import json
-import os
 from typing import Dict, List, Optional, Union
 
+from repro.core.durability import atomic_write_json
 from repro.core.registry import AuditEntry, RuleRegistry, RuleStatus
 from repro.core.ruleset import RuleSet
 from repro.core.serialize import rule_from_dict, rule_to_dict
@@ -105,10 +105,16 @@ def load_registry(path: str, clock: Optional[SimClock] = None) -> RuleRegistry:
 
 
 def _atomic_write(path: str, payload: Dict) -> None:
-    temporary = f"{path}.tmp"
-    with open(temporary, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    os.replace(temporary, path)
+    """Durable atomic replace: unique temp name, fsync'd file + directory.
+
+    The previous fixed ``f"{path}.tmp"`` temp name let two concurrent
+    writers corrupt each other's in-flight temp file, and skipping the
+    fsyncs meant a crash after :func:`os.replace` could surface an empty
+    or stale file after reboot. :func:`repro.core.durability.atomic_write_json`
+    closes both holes; the :mod:`repro.repository` change-log appender
+    shares the same hardened primitives.
+    """
+    atomic_write_json(path, payload)
 
 
 def _read(path: str, expected_kind: str) -> Dict:

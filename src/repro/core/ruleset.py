@@ -11,6 +11,7 @@ order-independence assumptions themselves are checked by
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -56,6 +57,15 @@ class RuleSet:
 
     Disabled rules are retained (so they can be re-enabled after an incident,
     section 2.2's scale-down/restore) but never fire.
+
+    **Rule-state ownership (copy-on-add).** The set stores a shallow *copy*
+    of every rule handed to :meth:`add` / :meth:`replace`, so per-rule
+    mutable state — today just ``enabled`` — is owned per set. Two rule
+    sets built from the same :class:`Rule` objects (e.g. a registry's
+    ``deployed_ruleset()`` and a snapshot view) no longer alias: disabling
+    a rule in one cannot silently disable it in the other, and every set's
+    subscribers see exactly the ``"disabled"`` events for *their* set.
+    Rule conditions are immutable, so the shallow copy shares them.
     """
 
     def __init__(self, rules: Iterable[Rule] = (), name: str = "ruleset"):
@@ -68,7 +78,12 @@ class RuleSet:
         # per-rule revision, and fans the event out to subscribers.
         self._version = 0
         self._revisions: Dict[str, int] = {}
-        self._listeners: List[Callable[[str, Rule], None]] = []
+        # Highest revision ever reaped by remove(); see _next_revision.
+        self._revision_watermark = 0
+        # Subscriptions are tracked by token (not listener value), so the
+        # same callable registered twice unsubscribes independently.
+        self._listeners: Dict[int, Callable[[str, Rule], None]] = {}
+        self._listener_tokens = 0
         for rule in rules:
             self.add(rule)
 
@@ -84,29 +99,49 @@ class RuleSet:
 
         ``(rule_id, revision)`` is the *versioned rule identity* — two
         sightings of the same pair are guaranteed to denote the same rule
-        condition, so cached per-rule results keyed on it stay sound.
+        condition, so cached per-rule results keyed on it stay sound. The
+        guarantee holds across remove/re-add churn: a re-added rule's
+        revision is strictly greater than any revision its id ever held
+        (see :meth:`_next_revision`), without keeping a tombstone entry
+        per removed id.
         """
         if rule_id not in self._rules:
             raise UnknownRuleError(rule_id)
         return self._revisions[rule_id]
+
+    def _next_revision(self, rule_id: str) -> int:
+        """A revision strictly above everything ``rule_id`` ever held.
+
+        ``_revisions`` only keeps entries for *live* rules; :meth:`remove`
+        folds the departing revision into a single scalar watermark (the
+        max revision ever reaped). A fresh add starts above the watermark,
+        so heavy churn cannot grow the dict without bound and the
+        versioned-identity guarantee survives: the watermark dominates
+        every removed id's last revision, in particular this one's.
+        """
+        return max(self._revisions.get(rule_id, 0), self._revision_watermark) + 1
 
     def subscribe(self, listener: Callable[[str, Rule], None]) -> Callable[[], None]:
         """Register ``listener(event, rule)`` for mutations; returns unsubscribe.
 
         Events: ``"added"``, ``"removed"``, ``"replaced"``, ``"enabled"``,
         ``"disabled"``. Listeners run synchronously inside the mutation.
+        Each call registers an independent subscription (tracked by token):
+        subscribing the same callable twice and unsubscribing once detaches
+        only that registration, never the other one.
         """
-        self._listeners.append(listener)
+        token = self._listener_tokens
+        self._listener_tokens += 1
+        self._listeners[token] = listener
 
         def unsubscribe() -> None:
-            if listener in self._listeners:
-                self._listeners.remove(listener)
+            self._listeners.pop(token, None)
 
         return unsubscribe
 
     def _notify(self, event: str, rule: Rule) -> None:
         self._version += 1
-        for listener in list(self._listeners):
+        for listener in list(self._listeners.values()):
             listener(event, rule)
 
     # -- container protocol ----------------------------------------------------
@@ -126,14 +161,20 @@ class RuleSet:
         except KeyError:
             raise UnknownRuleError(rule_id) from None
 
+    def is_enabled(self, rule_id: str) -> bool:
+        """This set's enabled flag for the rule (per-set state)."""
+        return self.get(rule_id).enabled
+
     # -- mutation ---------------------------------------------------------------
 
     def add(self, rule: Rule) -> Rule:
+        """Add a rule; returns the set-owned copy actually stored."""
         if rule.rule_id in self._rules:
             raise DuplicateRuleError(f"rule {rule.rule_id!r} already in {self.name!r}")
+        rule = copy.copy(rule)
         self._rules[rule.rule_id] = rule
         self._order.append(rule.rule_id)
-        self._revisions[rule.rule_id] = self._revisions.get(rule.rule_id, 0) + 1
+        self._revisions[rule.rule_id] = self._next_revision(rule.rule_id)
         self._notify("added", rule)
         return rule
 
@@ -145,6 +186,11 @@ class RuleSet:
         rule = self.get(rule_id)
         del self._rules[rule_id]
         self._order.remove(rule_id)
+        # Reap the tombstoned revision into the watermark so churn cannot
+        # grow _revisions without bound (see _next_revision).
+        self._revision_watermark = max(
+            self._revision_watermark, self._revisions.pop(rule_id)
+        )
         self._notify("removed", rule)
         return rule
 
@@ -157,6 +203,7 @@ class RuleSet:
         single ``"replaced"`` event instead of a remove/add pair.
         """
         old = self.get(rule.rule_id)
+        rule = copy.copy(rule)
         self._rules[rule.rule_id] = rule
         self._revisions[rule.rule_id] += 1
         self._notify("replaced", rule)

@@ -309,8 +309,14 @@ class IncrementalExecutor:
                 self.remove_rules([rule.rule_id])
             elif event == "replaced":
                 self.update_rule(rule)
-            # "enabled"/"disabled" need no recompute: stored matches are
-            # condition-truth; the fired-map snapshot filter sees the flip.
+            elif event in ("enabled", "disabled"):
+                # No recompute: stored matches are condition-truth; the
+                # fired-map snapshot filter sees the flip. Rule sets own
+                # their rule copies, so mirror the flag onto our tracked
+                # object when the executor was built from different ones.
+                tracked = self._rules.get(rule.rule_id)
+                if tracked is not None and tracked is not rule:
+                    tracked.enabled = rule.enabled
 
         unsubscribe = ruleset.subscribe(on_event)
         self._unsubscribes.append(unsubscribe)

@@ -68,6 +68,7 @@ class ScenarioReport:
     crowd: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
     rules: Dict[str, Any] = field(default_factory=dict)
+    repository: Dict[str, Any] = field(default_factory=dict)
     fired_digest: str = ""
     exit_checks: List[ExitCheck] = field(default_factory=list)
 
@@ -88,6 +89,7 @@ class ScenarioReport:
             "crowd": self.crowd,
             "faults": self.faults,
             "rules": self.rules,
+            "repository": self.repository,
             "fired_digest": self.fired_digest,
             "exit_checks": [check.to_dict() for check in self.exit_checks],
         }
@@ -120,6 +122,7 @@ class ScenarioReport:
             crowd=data.get("crowd", {}),
             faults=data.get("faults", {}),
             rules=data.get("rules", {}),
+            repository=data.get("repository", {}),
             fired_digest=data.get("fired_digest", ""),
             exit_checks=checks,
         )
@@ -215,6 +218,19 @@ class ScenarioReport:
                 f"{self.rules.get('added', 0)} added · "
                 f"{self.rules.get('disabled', 0)} disabled during run"
             )
+        if self.repository:
+            lines.append(
+                f"  repository: {self.repository.get('changes', 0)} logged "
+                f"change(s) · {self.repository.get('snapshots', 0)} snapshot(s) · "
+                f"{self.repository.get('rollbacks', 0)} rollback(s)"
+            )
+            for event in self.repository.get("rollback_events", []):
+                lines.append(
+                    f"    batch {event['at_batch']}: rollback -> "
+                    f"{event['name']!r} ({event['flips']} flips, "
+                    f"{event['replaced']} replaced, {event['added']} re-added, "
+                    f"{event['removed']} removed)"
+                )
         lines.append(f"  fired digest: {self.fired_digest}")
         if self.exit_checks:
             lines.append("  exit conditions:")

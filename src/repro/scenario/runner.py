@@ -57,6 +57,7 @@ from repro.maintenance.taxonomy_change import (
     plan_for_split,
 )
 from repro.observability.quality import QualityTelemetry, RuleHealthTracker
+from repro.repository import RuleRepository, bind_chimera
 from repro.scenario.report import ExitCheck, ScenarioReport, round6
 from repro.scenario.spec import _EXIT_CHECKS, ScenarioSpec, TaxonomyChange
 from repro.testing.faults import FaultPlan, VirtualSleeper
@@ -224,7 +225,18 @@ class ScenarioRunner:
                 precision_floor=spec.quality.precision_floor,
             )
             chimera.enable_quality_telemetry(QualityTelemetry(health=tracker))
-        manager = IncidentManager(chimera)
+
+        repository: Optional[RuleRepository] = None
+        if spec.repository.enabled:
+            # In-memory repository bound to all three rule stages: every
+            # mutation of the run lands in its audit log (attributed to the
+            # scenario unless a tighter scope — e.g. the incident manager's
+            # playbook — is open), and the schedule below can snapshot and
+            # roll back by name.
+            repository = RuleRepository(clock=clock)
+            repository.default_author = "scenario"
+            bind_chimera(repository, chimera)
+        manager = IncidentManager(chimera, repository=repository)
 
         # -- run state -----------------------------------------------------------
         rules_added = 0
@@ -296,6 +308,10 @@ class ScenarioRunner:
             return index
 
         drift_at = by_step(spec.drift)
+        snap_at = by_step(spec.repository.snapshots)
+        rollback_at = by_step(spec.repository.rollbacks)
+        snapshots_taken = 0
+        rollback_rows: List[Dict[str, Any]] = []
         tax_at = by_step(spec.taxonomy_changes)
         churn_at = by_step(spec.rule_churn)
         scale_at = by_step(spec.scale_ups)
@@ -325,6 +341,29 @@ class ScenarioRunner:
         # -- the event loop ------------------------------------------------------
         for step in range(spec.traffic.batches):
             state["step"] = step
+
+            # repository schedule: snapshots capture the state as this step
+            # begins; rollbacks restore a named snapshot via delta ops only
+            if repository is not None:
+                for event in snap_at.get(step, []):
+                    repository.snapshot(
+                        event.name, author="scenario",
+                        reason=f"scheduled at batch {step}",
+                    )
+                    snapshots_taken += 1
+                for event in rollback_at.get(step, []):
+                    result = repository.rollback(
+                        event.name, author="scenario",
+                        reason=f"scheduled at batch {step}",
+                    )
+                    rollback_rows.append({
+                        "at_batch": step,
+                        "name": event.name,
+                        "flips": result.flips,
+                        "replaced": result.replaced,
+                        "added": result.added,
+                        "removed": result.removed,
+                    })
 
             # scheduled re-enables from earlier churn
             for rule_id in reenable_at.pop(step, []):
@@ -601,6 +640,15 @@ class ScenarioRunner:
             "added": rules_added,
             "disabled": rules_disabled,
         }
+        if repository is not None:
+            report.repository = {
+                "changes": len(repository.log),
+                "namespaces": repository.namespaces(),
+                "snapshots": snapshots_taken,
+                "rollbacks": len(rollback_rows),
+                "rollback_events": rollback_rows,
+            }
+            repository.close()
         report.fired_digest = digest.hexdigest()[:16]
         report.exit_checks = self._evaluate_exit(
             report, manager, tracker, crowd_exhausted
@@ -734,6 +782,9 @@ class ScenarioRunner:
             "expect_budget_exhausted": crowd_exhausted,
             "min_rules_disabled": report.rules["disabled"],
             "min_taxonomy_changes": len(report.taxonomy_changes),
+            "min_repository_changes": report.repository.get("changes", 0),
+            "min_snapshots": report.repository.get("snapshots", 0),
+            "min_rollbacks": report.repository.get("rollbacks", 0),
         }
         checks: List[ExitCheck] = []
         for name, expected in self.spec.exit.checks:

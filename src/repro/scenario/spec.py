@@ -584,6 +584,70 @@ class AnalystSpec:
 
 
 @dataclass(frozen=True)
+class RepoEvent:
+    """One scheduled repository action: snapshot or rollback by name."""
+
+    at_batch: int
+    name: str
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str) -> "RepoEvent":
+        data = _require_map(data, path)
+        _check_keys(data, ("at_batch", "name"), path)
+        return cls(
+            at_batch=_get_int(data, "at_batch", path, -1, minimum=0),
+            name=_get_str(data, "name", path, required=True),
+        )
+
+
+@dataclass(frozen=True)
+class RepositorySpec:
+    """Rule-repository wiring: audit log, named snapshots, rollbacks.
+
+    When enabled, the runner binds the Chimera's rule sets to an
+    in-memory :class:`~repro.repository.RuleRepository`; every rule
+    mutation of the run (analyst additions, churn, incident scale-downs)
+    lands in the audit log, and the schedule can take named snapshots and
+    roll namespaces back to them (delta ops only — §2.2 restore).
+    """
+
+    enabled: bool = False
+    snapshots: Tuple[RepoEvent, ...] = ()
+    rollbacks: Tuple[RepoEvent, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "repository") -> "RepositorySpec":
+        data = _require_map(data, path)
+        _check_keys(data, ("enabled", "snapshots", "rollbacks"), path)
+        snapshots = tuple(
+            RepoEvent.from_dict(entry, f"{path}.snapshots[{i}]")
+            for i, entry in enumerate(
+                _require_list(data.get("snapshots"), f"{path}.snapshots"))
+        )
+        rollbacks = tuple(
+            RepoEvent.from_dict(entry, f"{path}.rollbacks[{i}]")
+            for i, entry in enumerate(
+                _require_list(data.get("rollbacks"), f"{path}.rollbacks"))
+        )
+        spec = cls(
+            enabled=_get_bool(data, "enabled", path,
+                              bool(snapshots or rollbacks)),
+            snapshots=snapshots,
+            rollbacks=rollbacks,
+        )
+        if (snapshots or rollbacks) and not spec.enabled:
+            raise _err(path, "snapshots/rollbacks need enabled: true")
+        names = [event.name for event in snapshots]
+        if len(set(names)) != len(names):
+            raise _err(f"{path}.snapshots", f"duplicate snapshot names in {names}")
+        for i, event in enumerate(rollbacks):
+            if event.name not in names:
+                raise _err(f"{path}.rollbacks[{i}].name",
+                           f"unknown snapshot {event.name!r}; declared: {names}")
+        return spec
+
+
+@dataclass(frozen=True)
 class ExecutorSpec:
     """Which executor maintains the rules × items fired map alongside."""
 
@@ -621,6 +685,9 @@ _EXIT_CHECKS: Dict[str, str] = {
     "expect_budget_exhausted": "eq",
     "min_rules_disabled": "ge",
     "min_taxonomy_changes": "ge",
+    "min_repository_changes": "ge",
+    "min_snapshots": "ge",
+    "min_rollbacks": "ge",
 }
 
 
@@ -669,12 +736,13 @@ class ScenarioSpec:
     incidents: IncidentPolicy = field(default_factory=IncidentPolicy)
     analyst: AnalystSpec = field(default_factory=AnalystSpec)
     executor: ExecutorSpec = field(default_factory=ExecutorSpec)
+    repository: RepositorySpec = field(default_factory=RepositorySpec)
     exit: ExitConditions = field(default_factory=ExitConditions)
 
     TOP_KEYS = ("name", "description", "seed", "tags", "catalog", "traffic",
                 "drift", "taxonomy_changes", "rule_churn", "scale_ups",
                 "faults", "crowd", "quality", "incidents", "analyst",
-                "executor", "exit")
+                "executor", "repository", "exit")
 
     @classmethod
     def from_dict(cls, data: Any) -> "ScenarioSpec":
@@ -712,6 +780,7 @@ class ScenarioSpec:
             incidents=IncidentPolicy.from_dict(data.get("incidents")),
             analyst=AnalystSpec.from_dict(data.get("analyst")),
             executor=ExecutorSpec.from_dict(data.get("executor")),
+            repository=RepositorySpec.from_dict(data.get("repository")),
             exit=ExitConditions.from_dict(data.get("exit")),
         )
         spec._validate_schedule()
@@ -740,6 +809,10 @@ class ScenarioSpec:
             check(hot.at_batch, f"traffic.hot_keys[{i}]")
         for i, at_batch in enumerate(self.crowd.at_batches):
             check(at_batch, f"crowd.at_batches[{i}]")
+        for i, event in enumerate(self.repository.snapshots):
+            check(event.at_batch, f"repository.snapshots[{i}]")
+        for i, event in enumerate(self.repository.rollbacks):
+            check(event.at_batch, f"repository.rollbacks[{i}]")
         if not self.faults.empty and self.executor.kind != "partitioned":
             raise _err("faults", "a fault plan needs executor.kind: partitioned")
 

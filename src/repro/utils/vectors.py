@@ -41,14 +41,33 @@ class SparseVector:
         return self._data.items()
 
     def norm(self) -> float:
-        return math.sqrt(sum(v * v for v in self._data.values()))
+        # Scaled two-norm: squaring components near 1e-162 underflows to
+        # subnormals and the naive sqrt(sum(v*v)) loses most of its
+        # precision, so normalized() would not be unit length. Factoring
+        # out the largest magnitude keeps every square near 1.0.
+        if not self._data:
+            return 0.0
+        scale = max(abs(v) for v in self._data.values())
+        if scale == 0.0 or math.isinf(scale):
+            return scale
+        return scale * math.sqrt(sum((v / scale) ** 2 for v in self._data.values()))
 
     def normalized(self) -> "SparseVector":
         """Unit-length copy; the zero vector normalizes to itself."""
-        length = self.norm()
-        if length == 0:
+        # Rescale by the largest magnitude before dividing by the norm:
+        # at subnormal scale both the norm and the division by it round
+        # so coarsely that the quotient can be off by tens of percent.
+        # The pre-scaled copy lives in [-1, 1] where both are accurate.
+        if not self._data:
             return SparseVector()
-        return SparseVector({k: v / length for k, v in self._data.items()})
+        scale = max(abs(v) for v in self._data.values())
+        if scale == 0.0:
+            return SparseVector()
+        scaled = {k: v / scale for k, v in self._data.items()}
+        length = math.sqrt(sum(v * v for v in scaled.values()))
+        if length == 0.0:
+            return SparseVector()
+        return SparseVector({k: v / length for k, v in scaled.items()})
 
     def dot(self, other: "SparseVector") -> float:
         if len(other) < len(self):

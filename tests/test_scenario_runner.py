@@ -1,7 +1,7 @@
 """The scenario runner and the shipped library.
 
 Tier-1 runs the ``smoke``-tagged scenarios plus targeted event-loop
-checks; the full 13-scenario library runs under ``-m slow`` (the CI
+checks; the full 14-scenario library runs under ``-m slow`` (the CI
 scenario matrix) so tier-1 wall-clock stays flat.
 """
 
