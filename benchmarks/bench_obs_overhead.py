@@ -126,6 +126,15 @@ def main(argv=None):
         "fired_maps_identical": identical,
         "span_count": len(last_obs.tracer.spans) if last_obs else 0,
     }
+    # Preserve the daemon-overhead section bench_service_overhead merges in.
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as handle:
+                previous = json.load(handle)
+            if "service" in previous:
+                payload["service"] = previous["service"]
+        except (OSError, json.JSONDecodeError):
+            pass
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -382,6 +382,30 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
 
+    if args.action == "diff":
+        from repro.scenario import diff_report_files, render_diff
+
+        if args.spec2 is None:
+            print("error: scenario diff needs two health JSON paths",
+                  file=sys.stderr)
+            return 1
+        try:
+            diff = diff_report_files(args.spec, args.spec2)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff), end="")
+        identical = (
+            diff["fired_digest"]["match"]
+            and not diff["totals"]
+            and not diff["exit_checks"]
+            and diff["incidents"]["count"]["delta"] == 0
+        )
+        return 0 if identical else 2
+
     if args.action == "report":
         with open(args.spec) as handle:
             report = ScenarioReport.from_dict(json.load(handle))
@@ -409,6 +433,61 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if not args.quiet:
         print(report.render_text(), end="")
     return 0 if report.passed else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the durable streaming daemon with the HTTP console attached."""
+    import time
+
+    from repro.service import ServiceConfig, ServiceHttpServer, StreamService
+
+    config = ServiceConfig(seed=args.seed) if args.seed is not None else None
+    service = StreamService(args.root, config=config, fsync=not args.no_fsync)
+    try:
+        service.start()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        service.close()
+        return 1
+    server = ServiceHttpServer(service, host=args.host, port=args.port)
+    server.start()
+    print(f"serving {args.root} on {server.url} "
+          f"(resumed at ordinal {service.ordinal})",
+          file=sys.stderr, flush=True)
+    try:
+        target = args.batches
+        if target is not None:
+            while service.ordinal < target:
+                service.process_batch()
+                if not args.quiet:
+                    print(f"batch {service.ordinal}/{target} "
+                          f"digest {service.digest_chain[:16]}…",
+                          file=sys.stderr, flush=True)
+                if args.interval > 0:
+                    time.sleep(args.interval)
+        if target is None or args.hold:
+            print("holding — ctrl-c to stop", file=sys.stderr, flush=True)
+            while True:
+                time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.service import render_dashboard
+
+    text = render_dashboard(args.root, window=args.window, width=args.width)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote dashboard -> {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_repo(args: argparse.Namespace) -> int:
@@ -615,12 +694,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenario = sub.add_parser(
         "scenario", help="declarative end-to-end scenarios (list/run/report)"
     )
-    scenario.add_argument("action", choices=("list", "run", "report"),
-                          help="list library scenarios, run one, or "
-                               "re-render a saved health JSON")
+    scenario.add_argument("action", choices=("list", "run", "report", "diff"),
+                          help="list library scenarios, run one, re-render a "
+                               "saved health JSON, or diff two health JSONs")
     scenario.add_argument("spec", nargs="?", default=None,
                           help="library scenario name, spec YAML path (run), "
-                               "or health JSON path (report)")
+                               "or health JSON path (report/diff)")
+    scenario.add_argument("spec2", nargs="?", default=None,
+                          help="second health JSON path (diff)")
     scenario.add_argument("--seed", type=int, default=None,
                           help="override the spec's seed")
     scenario.add_argument("--tag", default=None,
@@ -632,6 +713,45 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--quiet", action="store_true",
                           help="suppress the rendered text report (run)")
     scenario.set_defaults(func=_cmd_scenario)
+
+    serve = sub.add_parser(
+        "serve",
+        help="durable streaming daemon + HTTP operations console",
+    )
+    serve.add_argument("--root", required=True,
+                       help="service state directory (created if missing)")
+    serve.add_argument("--batches", type=int, default=None,
+                       help="run until this many total batches processed "
+                            "(default: serve current state only)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="service config seed (fresh roots only; a resume "
+                            "must match the checkpointed config)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="console port (0 = pick a free port)")
+    serve.add_argument("--interval", type=float, default=0.0,
+                       help="sleep this many seconds between batches")
+    serve.add_argument("--hold", action="store_true",
+                       help="keep serving after the batch target is reached")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on appends/checkpoints (tests only)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-batch progress lines")
+    serve.set_defaults(func=_cmd_serve)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render the operations dashboard from a service root",
+    )
+    dashboard.add_argument("--root", required=True,
+                           help="service state directory")
+    dashboard.add_argument("--window", type=int, default=48,
+                           help="batches of history to plot")
+    dashboard.add_argument("--width", type=int, default=48,
+                           help="sparkline width in characters")
+    dashboard.add_argument("--out", default=None,
+                           help="write the dashboard text here instead of stdout")
+    dashboard.set_defaults(func=_cmd_dashboard)
 
     repo = sub.add_parser(
         "repo",

@@ -190,6 +190,35 @@ class MatchStore:
             if not row:
                 del self._by_item[item_id]
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the full store (pairs + generations)."""
+        return {
+            "by_rule": {
+                rule_id: sorted(item_ids)
+                for rule_id, item_ids in sorted(self._by_rule.items())
+            },
+            "rule_generation": dict(sorted(self._rule_generation.items())),
+            "item_generation": dict(sorted(self._item_generation.items())),
+            "generation": self.generation,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot verbatim.
+
+        Generations are restored as-is (no bumps): a resumed store is
+        indistinguishable from the one that was checkpointed.
+        """
+        self._by_item.clear()
+        self._by_rule.clear()
+        for rule_id, item_ids in state["by_rule"].items():
+            for item_id in item_ids:
+                self._record_pair(rule_id, item_id)
+        self._rule_generation = dict(state["rule_generation"])
+        self._item_generation = dict(state["item_generation"])
+        self.generation = state["generation"]
+
     # -- reads --------------------------------------------------------------------
 
     def fired_map(self, enabled_rule_ids: FrozenSet[str]) -> Dict[str, List[str]]:
@@ -492,6 +521,50 @@ class IncrementalExecutor:
             op.delta_rules += len(self._rules)
             self._finish("refresh", op, started)
         return self.fired_map(), op
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-safe operational state for a durable-service checkpoint.
+
+        Covers the materialized matches and generation counters. Rules and
+        items are *not* embedded: the service layer rebuilds rules
+        deterministically and journals raw item records separately (see
+        ``repro.service.checkpoint``), then calls :meth:`restore_items` +
+        :meth:`restore_state`.
+        """
+        return {"store": self.store.state_dict()}
+
+    def restore_items(self, items: Iterable[ItemLike]) -> int:
+        """Re-admit previously-evaluated items without re-evaluating them.
+
+        Prepares and indexes each item (so future rule-side deltas see the
+        full corpus) but performs no rule matching and no store writes —
+        the matches arrive verbatim via :meth:`restore_state`.
+        """
+        count = 0
+        for item in items:
+            prepared = prepare_cached(item, self.prepared_cache).warm(anchors=True)
+            self._data_index.add(prepared.item)
+            count += 1
+        return count
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Load an :meth:`export_state` snapshot and re-prime the memo.
+
+        The fired-map memo is rebuilt directly from the restored store
+        (bypassing the observability hook): the checkpoint was taken at a
+        batch boundary where the snapshot had already been materialized
+        and observed, so re-observing here would double-feed the health
+        tracker relative to an uninterrupted run.
+        """
+        self.store.load_state(state["store"])
+        enabled = frozenset(
+            rule_id for rule_id, rule in self._rules.items() if rule.enabled
+        )
+        self._snapshot = self.store.fired_map(enabled)
+        self._snapshot_generation = self.store.generation
+        self._snapshot_enabled = enabled
 
     # -- reads --------------------------------------------------------------------
 

@@ -298,6 +298,103 @@ class MetricsRegistry:
         }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
+    def delta(self, prev: Dict[str, Dict[str, object]]) -> Dict[str, Dict[str, object]]:
+        """What changed since ``prev`` (a prior :meth:`snapshot`).
+
+        Copy-free with respect to the instruments: reads values, never
+        resets them, so a poller can sample every N batches without
+        perturbing the registry (counters keep accumulating). Counters
+        report the increase since ``prev`` (new series count from zero);
+        gauges report their current value (a gauge has no rate); histogram
+        entries report the observation count/sum added in the interval,
+        with the interval mean derived from those.
+        """
+        snap = self.snapshot()
+        prev_counters = prev.get("counters", {})
+        counters = {
+            name: value - prev_counters.get(name, 0)
+            for name, value in snap["counters"].items()
+        }
+        prev_hists = prev.get("histograms", {})
+        histograms: Dict[str, object] = {}
+        for name, summary in snap["histograms"].items():
+            before = prev_hists.get(name, {})
+            d_count = summary["count"] - before.get("count", 0)
+            d_sum = summary["sum"] - before.get("sum", 0.0)
+            histograms[name] = {
+                "count": d_count,
+                "sum": d_sum,
+                "mean": d_sum / d_count if d_count else 0.0,
+            }
+        return {
+            "counters": counters,
+            "gauges": dict(snap["gauges"]),
+            "histograms": histograms,
+        }
+
+    def dump(self) -> Dict[str, object]:
+        """Full-fidelity, JSON-safe registry state for checkpointing.
+
+        Unlike :meth:`snapshot` (the human/report view, which collapses
+        histograms to summaries), this keeps bucket bounds and counts so
+        :meth:`load` reconstructs instruments exactly — a resumed daemon
+        continues accumulating where the crashed one stopped.
+        """
+        return {
+            "max_rule_labels": self.max_rule_labels,
+            "rule_label_ids": sorted(self._rule_label_ids),
+            "counters": [
+                {"name": key[0], "labels": [list(kv) for kv in key[1]],
+                 "value": counter.value}
+                for key, counter in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": key[0], "labels": [list(kv) for kv in key[1]],
+                 "value": gauge.value}
+                for key, gauge in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": key[0],
+                    "labels": [list(kv) for kv in key[1]],
+                    "buckets": list(hist.buckets),
+                    "bucket_counts": list(hist.bucket_counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                }
+                for key, hist in sorted(self._histograms.items())
+            ],
+        }
+
+    @classmethod
+    def load(cls, state: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from its :meth:`dump` form."""
+        registry = cls(max_rule_labels=state.get("max_rule_labels",
+                                                 DEFAULT_MAX_RULE_LABELS))
+        registry._rule_label_ids = set(state.get("rule_label_ids", ()))
+        for entry in state.get("counters", ()):
+            labels = tuple((k, v) for k, v in entry["labels"])
+            counter = Counter(entry["name"], labels)
+            counter.value = entry["value"]
+            registry._counters[(entry["name"], labels)] = counter
+        for entry in state.get("gauges", ()):
+            labels = tuple((k, v) for k, v in entry["labels"])
+            gauge = Gauge(entry["name"], labels)
+            gauge.value = entry["value"]
+            registry._gauges[(entry["name"], labels)] = gauge
+        for entry in state.get("histograms", ()):
+            labels = tuple((k, v) for k, v in entry["labels"])
+            hist = Histogram(entry["name"], labels, entry["buckets"])
+            hist.bucket_counts = list(entry["bucket_counts"])
+            hist.count = entry["count"]
+            hist.sum = entry["sum"]
+            hist.min = entry["min"]
+            hist.max = entry["max"]
+            registry._histograms[(entry["name"], labels)] = hist
+        return registry
+
     def report_lines(self) -> List[str]:
         """Plain-text rows for the CLI report (sorted, diff-friendly)."""
         snapshot = self.snapshot()

@@ -290,12 +290,20 @@ class ProvenanceLog:
         capacity: int = 10_000,
         spool: Optional[PathOrHandle] = None,
         on_evict: Optional[Callable[[ProvenanceRecord], None]] = None,
+        spool_all: bool = False,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if spool_all and spool is None:
+            raise ValueError("spool_all=True requires a spool target")
         self.capacity = capacity
         self.spool = spool
         self.on_evict = on_evict
+        #: Write-ahead mode: every record is spooled at ``record()`` time
+        #: (eviction skips the re-spool), so the spool file is a complete,
+        #: replayable trail even for records still in the ring — the
+        #: durable-service checkpoint contract (see ``replay``).
+        self.spool_all = spool_all
         self._records: Deque[ProvenanceRecord] = deque()
         self._by_item: Dict[str, Deque[ProvenanceRecord]] = {}
         self._seq = 0
@@ -324,6 +332,8 @@ class ProvenanceLog:
         if bucket is None:
             bucket = self._by_item[record.item_id] = deque()
         bucket.append(record)
+        if self.spool_all:
+            self._spool_one(record)
         while len(records) > self.capacity:
             self._evict()
         return record
@@ -337,7 +347,7 @@ class ProvenanceLog:
             bucket.popleft()
             if not bucket:
                 del by_item[evicted.item_id]
-        if self.spool is not None:
+        if self.spool is not None and not self.spool_all:
             self._spool_one(evicted)
         if self.on_evict is not None:
             self.on_evict(evicted)
@@ -357,6 +367,29 @@ class ProvenanceLog:
         if self._spool_handle is not None and isinstance(self.spool, str):
             self._spool_handle.close()
             self._spool_handle = None
+
+    def spool_offset(self) -> int:
+        """Flush + fsync the spool and return its current byte offset.
+
+        The checkpoint durability point: everything before the returned
+        offset is on disk; a resume truncates the spool back to the last
+        checkpointed offset, discarding any partially-spooled tail.
+        """
+        import os
+
+        if self._spool_handle is None:
+            if isinstance(self.spool, str):
+                try:
+                    return os.path.getsize(self.spool)
+                except OSError:
+                    return 0
+            return 0
+        self._spool_handle.flush()
+        try:
+            os.fsync(self._spool_handle.fileno())
+        except (OSError, ValueError):
+            pass  # non-file handles (StringIO) have no durable backing
+        return self._spool_handle.tell()
 
     # -- queries ----------------------------------------------------------------
 
@@ -448,6 +481,37 @@ class ProvenanceLog:
         while self._records:
             self._evict()
         return rotated
+
+    @classmethod
+    def replay(
+        cls,
+        spool: str,
+        capacity: int = 10_000,
+        on_evict: Optional[Callable[[ProvenanceRecord], None]] = None,
+    ) -> "ProvenanceLog":
+        """Rebuild a ``spool_all`` log from its spool file.
+
+        Reads the spool torn-tolerantly (a partial final line — a crash
+        mid-append — is ignored), refills the ring with the last
+        ``capacity`` records, and restores the seq/total/evicted counters
+        to exactly what a live log that spooled those records would hold.
+        Replayed records are *not* re-spooled.
+        """
+        from repro.core.durability import scan_jsonl
+
+        payloads, _torn = scan_jsonl(spool)
+        records = [ProvenanceRecord.from_dict(payload) for payload in payloads]
+        log = cls(capacity=capacity, spool=spool, on_evict=on_evict, spool_all=True)
+        log.total_records = len(records)
+        log.evicted_records = max(0, len(records) - capacity)
+        log._seq = max((record.seq for record in records), default=0)
+        for record in records[-capacity:]:
+            log._records.append(record)
+            bucket = log._by_item.get(record.item_id)
+            if bucket is None:
+                bucket = log._by_item[record.item_id] = deque()
+            bucket.append(record)
+        return log
 
     @staticmethod
     def read_jsonl(source: PathOrHandle) -> List[ProvenanceRecord]:

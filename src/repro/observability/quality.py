@@ -348,6 +348,122 @@ class RuleHealthTracker:
         for callback in list(self.on_alert):
             callback(alert)
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the full tracker state.
+
+        Intended for batch boundaries, where the pending (``_cur_*``)
+        accumulators are empty; pending counters are folded and included
+        anyway so a mid-batch snapshot loses nothing. ``on_alert``
+        callbacks and the ``metrics`` registry are *not* part of the
+        state — the restoring side re-wires its own.
+        """
+        self._fold_pending()
+        return {
+            "window": self.window,
+            "baseline_batches": self.baseline_batches,
+            "precision_floor": self.precision_floor,
+            "drift_min_delta": self.drift_min_delta,
+            "drift_tolerance": self.drift_tolerance,
+            "batches": [
+                {
+                    "batch_id": b.batch_id,
+                    "n_items": b.n_items,
+                    "fires": [list(pair) for pair in b.fires],
+                    "wins": [list(pair) for pair in b.wins],
+                    "has_votes": b.has_votes,
+                }
+                for b in self.batches
+            ],
+            "total_batches": self.total_batches,
+            "total_items": self.total_items,
+            "total_fires": dict(sorted(self.total_fires.items())),
+            "total_wins": dict(sorted(self.total_wins.items())),
+            "overlap": [
+                [left, right, count]
+                for (left, right), count in sorted(self.overlap.items())
+            ],
+            "precision_estimates": {
+                rule_id: list(estimate)
+                for rule_id, estimate in sorted(self.precision_estimates.items())
+            },
+            "baseline": (
+                dict(sorted(self.baseline.items()))
+                if self.baseline is not None else None
+            ),
+            "drifted_rules": dict(sorted(self.drifted_rules.items())),
+            "alerts": [
+                {
+                    "kind": a.kind,
+                    "rule_ids": list(a.rule_ids),
+                    "batch_id": a.batch_id,
+                    "detail": a.detail,
+                }
+                for a in self.alerts
+            ],
+            "cur_fires": dict(sorted(self._cur_fires.items())),
+            "cur_wins": dict(sorted(self._cur_wins.items())),
+            "cur_items": self._cur_items,
+            "cur_has_votes": self._cur_has_votes,
+            "auto_batch": self._auto_batch,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot verbatim.
+
+        Configuration knobs are restored too (they shape future drift
+        checks); ``on_alert`` and ``metrics`` wiring is left untouched.
+        """
+        self.window = state["window"]
+        self.baseline_batches = state["baseline_batches"]
+        self.precision_floor = state["precision_floor"]
+        self.drift_min_delta = state["drift_min_delta"]
+        self.drift_tolerance = state["drift_tolerance"]
+        self.batches = deque(
+            (
+                BatchHealth(
+                    batch_id=entry["batch_id"],
+                    n_items=entry["n_items"],
+                    fires=tuple((r, c) for r, c in entry["fires"]),
+                    wins=tuple((r, c) for r, c in entry["wins"]),
+                    has_votes=entry["has_votes"],
+                )
+                for entry in state["batches"]
+            ),
+            maxlen=self.window,
+        )
+        self.total_batches = state["total_batches"]
+        self.total_items = state["total_items"]
+        self.total_fires = Counter(state["total_fires"])
+        self.total_wins = Counter(state["total_wins"])
+        self.overlap = Counter(
+            {(left, right): count for left, right, count in state["overlap"]}
+        )
+        self.precision_estimates = {
+            rule_id: tuple(estimate)
+            for rule_id, estimate in state["precision_estimates"].items()
+        }
+        self.baseline = (
+            dict(state["baseline"]) if state["baseline"] is not None else None
+        )
+        self.drifted_rules = dict(state["drifted_rules"])
+        self.alerts = [
+            RuleAlert(
+                kind=entry["kind"],
+                rule_ids=tuple(entry["rule_ids"]),
+                batch_id=entry["batch_id"],
+                detail=entry["detail"],
+            )
+            for entry in state["alerts"]
+        ]
+        self._cur_fires = Counter(state["cur_fires"])
+        self._cur_wins = Counter(state["cur_wins"])
+        self._cur_items = state["cur_items"]
+        self._cur_has_votes = state["cur_has_votes"]
+        self._cur_records = []
+        self._auto_batch = state["auto_batch"]
+
     # -- queries -----------------------------------------------------------------
 
     def windowed_items(self) -> int:

@@ -114,10 +114,16 @@ class ChangeLog:
     so the store is always readable at the previous durable state.
     """
 
-    def __init__(self, path: Optional[str] = None, fsync: bool = True):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        fsync: bool = True,
+        pin_seq: Optional[int] = None,
+    ):
         self.path = path
         self.entries: List[ChangeEntry] = []
         self.torn_bytes_repaired = 0
+        self.pinned_entries_dropped = 0
         self._appender: Optional[JsonlAppender] = None
         if path is not None:
             if os.path.exists(path):
@@ -133,6 +139,24 @@ class ChangeLog:
                         os.fsync(handle.fileno())
                     fsync_dir(os.path.dirname(os.path.abspath(path)))
                     self.torn_bytes_repaired = torn
+                if pin_seq is not None and self.entries and (
+                    self.entries[-1].seq > pin_seq
+                ):
+                    # Revision pinning (durable-service resume): entries
+                    # beyond the last acknowledged checkpoint were written
+                    # by a run that crashed before checkpointing them;
+                    # drop them so replayed batches regenerate them
+                    # identically instead of duplicating.
+                    kept = [e for e in self.entries if e.seq <= pin_seq]
+                    self.pinned_entries_dropped = len(self.entries) - len(kept)
+                    with open(path, "r+b") as handle:
+                        lines = handle.read().splitlines(keepends=True)
+                        keep_bytes = sum(len(line) for line in lines[:len(kept)])
+                        handle.truncate(keep_bytes)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    fsync_dir(os.path.dirname(os.path.abspath(path)))
+                    self.entries = kept
             self._appender = JsonlAppender(path, fsync=fsync)
 
     def __len__(self) -> int:

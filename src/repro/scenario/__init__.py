@@ -7,6 +7,12 @@ determinism contract, and ``src/repro/scenario/library/`` for the
 starter scenarios.
 """
 
+from repro.scenario.diff import (
+    diff_report_files,
+    diff_reports,
+    load_report,
+    render_diff,
+)
 from repro.scenario.report import ExitCheck, ScenarioReport, round6
 from repro.scenario.runner import ScenarioError, ScenarioRunner, run_scenario, sub_seed
 from repro.scenario.spec import (
@@ -29,9 +35,13 @@ __all__ = [
     "ScenarioSpec",
     "SpecError",
     "YamlError",
+    "diff_report_files",
+    "diff_reports",
     "fallback_load",
+    "load_report",
     "load_scenario",
     "loads",
+    "render_diff",
     "round6",
     "run_scenario",
     "safe_load",

@@ -1,0 +1,244 @@
+"""Structural diff between two scenario health reports.
+
+``repro scenario diff a.json b.json`` answers the operator question
+"what changed between these two runs?" — a seed bump, a spec tweak, a
+code change — without eyeballing two multi-hundred-line JSON files.
+The diff is computed on the :meth:`ScenarioReport.to_dict` form, so it
+works on any report the runner (or the CI scenario matrix) wrote.
+
+The comparison is intentionally asymmetric-free: every section reports
+``left``/``right``/``delta`` so the rendering reads the same whichever
+file is the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+_NUMERIC = (int, float)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load one report JSON file (the ``to_dict`` form)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "scenario" not in data:
+        raise ValueError(f"{path} is not a scenario report (no 'scenario' key)")
+    return data
+
+
+def _numeric_deltas(
+    left: Dict[str, Any], right: Dict[str, Any]
+) -> Dict[str, Dict[str, Any]]:
+    """Per-key {left, right, delta} over the union of numeric keys."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(set(left) | set(right)):
+        lv, rv = left.get(key, 0), right.get(key, 0)
+        if isinstance(lv, bool) or isinstance(rv, bool):
+            if lv != rv:
+                out[key] = {"left": lv, "right": rv, "delta": None}
+            continue
+        if not (isinstance(lv, _NUMERIC) and isinstance(rv, _NUMERIC)):
+            continue
+        if lv != rv:
+            out[key] = {"left": lv, "right": rv, "delta": round(rv - lv, 6)}
+    return out
+
+
+def _count_by(rows: List[Dict[str, Any]], key: str) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for row in rows:
+        label = str(row.get(key, "?"))
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def _incident_rules(rows: List[Dict[str, Any]]) -> List[str]:
+    """Every rule id that appears in any incident, sorted + deduped."""
+    seen = set()
+    for row in rows:
+        seen.update(row.get("rule_ids", []))
+    return sorted(seen)
+
+
+def diff_reports(
+    left: Dict[str, Any], right: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Compute the full structural diff between two report dicts."""
+    l_inc = left.get("incidents", [])
+    r_inc = right.get("incidents", [])
+    l_rules_hit = _incident_rules(l_inc)
+    r_rules_hit = _incident_rules(r_inc)
+    l_checks = {c["name"]: c for c in left.get("exit_checks", [])}
+    r_checks = {c["name"]: c for c in right.get("exit_checks", [])}
+    check_changes: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(set(l_checks) | set(r_checks)):
+        lc, rc = l_checks.get(name), r_checks.get(name)
+        entry = {
+            "left": None if lc is None else {
+                "actual": lc["actual"], "passed": lc["passed"]},
+            "right": None if rc is None else {
+                "actual": rc["actual"], "passed": rc["passed"]},
+        }
+        if lc is None or rc is None or lc["passed"] != rc["passed"] \
+                or lc["actual"] != rc["actual"]:
+            check_changes[name] = entry
+
+    return {
+        "identity": {
+            "scenario": {
+                "left": left.get("scenario"), "right": right.get("scenario")},
+            "seed": {"left": left.get("seed"), "right": right.get("seed")},
+            "executor": {
+                "left": left.get("executor"), "right": right.get("executor")},
+            "fingerprint": {
+                "left": left.get("fingerprint"),
+                "right": right.get("fingerprint"),
+            },
+            "passed": {
+                "left": left.get("passed"), "right": right.get("passed")},
+        },
+        "fired_digest": {
+            "left": left.get("fired_digest", ""),
+            "right": right.get("fired_digest", ""),
+            "match": left.get("fired_digest") == right.get("fired_digest"),
+        },
+        "totals": _numeric_deltas(
+            left.get("totals", {}), right.get("totals", {})),
+        "incidents": {
+            "count": {"left": len(l_inc), "right": len(r_inc),
+                      "delta": len(r_inc) - len(l_inc)},
+            "by_kind": {
+                "left": _count_by(l_inc, "kind"),
+                "right": _count_by(r_inc, "kind"),
+            },
+            "by_status": {
+                "left": _count_by(l_inc, "status"),
+                "right": _count_by(r_inc, "status"),
+            },
+            "rules_only_left": sorted(set(l_rules_hit) - set(r_rules_hit)),
+            "rules_only_right": sorted(set(r_rules_hit) - set(l_rules_hit)),
+        },
+        "alerts": {
+            "count": {
+                "left": len(left.get("alerts", [])),
+                "right": len(right.get("alerts", [])),
+                "delta": len(right.get("alerts", []))
+                - len(left.get("alerts", [])),
+            },
+            "by_kind": {
+                "left": _count_by(left.get("alerts", []), "kind"),
+                "right": _count_by(right.get("alerts", []), "kind"),
+            },
+        },
+        "rules": {
+            "summary": _numeric_deltas(
+                {k: v for k, v in left.get("rules", {}).items()
+                 if isinstance(v, _NUMERIC)},
+                {k: v for k, v in right.get("rules", {}).items()
+                 if isinstance(v, _NUMERIC)},
+            ),
+            "per_stage": _numeric_deltas(
+                left.get("rules", {}).get("per_stage", {}),
+                right.get("rules", {}).get("per_stage", {}),
+            ),
+        },
+        "crowd": _numeric_deltas(
+            left.get("crowd", {}), right.get("crowd", {})),
+        "faults": _numeric_deltas(
+            left.get("faults", {}), right.get("faults", {})),
+        "exit_checks": check_changes,
+    }
+
+
+def _fmt_delta(entry: Dict[str, Any]) -> str:
+    delta = entry.get("delta")
+    if delta is None:
+        return f"{entry['left']} -> {entry['right']}"
+    sign = "+" if delta > 0 else ""
+    return f"{entry['left']} -> {entry['right']} ({sign}{delta:g})"
+
+
+def render_diff(diff: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_reports` output."""
+    ident = diff["identity"]
+    lines: List[str] = []
+    same_scenario = ident["scenario"]["left"] == ident["scenario"]["right"]
+    header = (
+        f"scenario {ident['scenario']['left']}"
+        if same_scenario
+        else f"scenario {ident['scenario']['left']} vs "
+        f"{ident['scenario']['right']}"
+    )
+    lines.append(header)
+    lines.append(
+        f"  seed {ident['seed']['left']} vs {ident['seed']['right']} · "
+        f"spec {ident['fingerprint']['left']} vs "
+        f"{ident['fingerprint']['right']}"
+    )
+    verdict = lambda p: "PASS" if p else "FAIL"  # noqa: E731
+    lines.append(
+        f"  verdict: {verdict(ident['passed']['left'])} -> "
+        f"{verdict(ident['passed']['right'])}"
+    )
+    digest = diff["fired_digest"]
+    if digest["match"]:
+        lines.append(f"  fired digest: MATCH ({digest['left'][:16]}…)")
+    else:
+        lines.append(
+            f"  fired digest: DIFFER "
+            f"({digest['left'][:16]}… vs {digest['right'][:16]}…)"
+        )
+    if diff["totals"]:
+        lines.append("  totals:")
+        for key, entry in sorted(diff["totals"].items()):
+            lines.append(f"    {key}: {_fmt_delta(entry)}")
+    else:
+        lines.append("  totals: identical")
+    inc = diff["incidents"]
+    lines.append(f"  incidents: {_fmt_delta(inc['count'])}")
+    if inc["rules_only_left"]:
+        lines.append(
+            "    rules in incidents only on left: "
+            + ", ".join(inc["rules_only_left"][:8])
+        )
+    if inc["rules_only_right"]:
+        lines.append(
+            "    rules in incidents only on right: "
+            + ", ".join(inc["rules_only_right"][:8])
+        )
+    lines.append(f"  alerts: {_fmt_delta(diff['alerts']['count'])}")
+    for section in ("rules", "crowd", "faults"):
+        entries = diff[section]
+        if section == "rules":
+            merged = dict(entries["summary"])
+            merged.update(
+                {f"per_stage.{k}": v
+                 for k, v in entries["per_stage"].items()}
+            )
+            entries = merged
+        if entries:
+            lines.append(f"  {section}:")
+            for key, entry in sorted(entries.items()):
+                lines.append(f"    {key}: {_fmt_delta(entry)}")
+    if diff["exit_checks"]:
+        lines.append("  exit checks that changed:")
+        for name, entry in sorted(diff["exit_checks"].items()):
+            def _side(side: Any) -> str:
+                if side is None:
+                    return "(absent)"
+                mark = "ok" if side["passed"] else "FAIL"
+                return f"{side['actual']} [{mark}]"
+            lines.append(
+                f"    {name}: {_side(entry['left'])} -> "
+                f"{_side(entry['right'])}"
+            )
+    else:
+        lines.append("  exit checks: identical")
+    return "\n".join(lines) + "\n"
+
+
+def diff_report_files(left_path: str, right_path: str) -> Dict[str, Any]:
+    """Load two report files and diff them."""
+    return diff_reports(load_report(left_path), load_report(right_path))

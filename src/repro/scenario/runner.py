@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import time
 import zlib
 from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -338,8 +339,28 @@ class ScenarioRunner:
             incident.notes.append(f"added {added} repair rules")
             manager.restore(incident)
 
+        # -- wall-clock budget (ROADMAP item 4) ----------------------------------
+        # The only place the runner reads the host's real clock. Specs
+        # that declare these checks trade report-byte replayability for a
+        # latency SLO; wall-free specs are untouched (the measurements
+        # never enter the report body, only the declared exit checks).
+        run_started = time.perf_counter()
+        batch_latencies: List[float] = []
+        wall_budget: Optional[float] = None
+        for check_name, check_expected in spec.exit.checks:
+            if check_name == "max_wall_seconds":
+                wall_budget = float(check_expected)
+
         # -- the event loop ------------------------------------------------------
         for step in range(spec.traffic.batches):
+            if (
+                wall_budget is not None
+                and time.perf_counter() - run_started >= wall_budget
+            ):
+                # Budget exhausted: stop scheduling batches. Whatever
+                # already ran is reported; the max_wall_seconds check
+                # passes iff no single batch blew through the budget.
+                break
             state["step"] = step
 
             # repository schedule: snapshots capture the state as this step
@@ -470,6 +491,7 @@ class ScenarioRunner:
 
             # classify + monitor + executor maintenance
             for position, batch in enumerate(produced):
+                batch_started = time.perf_counter()
                 result = chimera.classify_batch(batch.items, batch_id=batch.batch_id)
                 precision = result.true_precision()
                 coverage = result.coverage
@@ -521,6 +543,9 @@ class ScenarioRunner:
                         degraded_runs += 1
                     skipped_items += len(run.skipped_item_ids)
                     _digest_update(digest, batch.batch_id, run.fired)
+                batch_latencies.append(
+                    (time.perf_counter() - batch_started) * 1000.0
+                )
 
             # §2.2 detect → scale down (one open quality incident at a time)
             if spec.incidents.auto_scale_down and monitor.degraded():
@@ -651,7 +676,9 @@ class ScenarioRunner:
             repository.close()
         report.fired_digest = digest.hexdigest()[:16]
         report.exit_checks = self._evaluate_exit(
-            report, manager, tracker, crowd_exhausted
+            report, manager, tracker, crowd_exhausted,
+            wall_seconds=time.perf_counter() - run_started,
+            batch_latencies=batch_latencies,
         )
         report.passed = all(check.passed for check in report.exit_checks)
         return report
@@ -753,7 +780,13 @@ class ScenarioRunner:
     # -- exit conditions ---------------------------------------------------------
 
     def _evaluate_exit(
-        self, report: ScenarioReport, manager, tracker, crowd_exhausted: bool
+        self,
+        report: ScenarioReport,
+        manager,
+        tracker,
+        crowd_exhausted: bool,
+        wall_seconds: float = 0.0,
+        batch_latencies: Sequence[float] = (),
     ) -> List[ExitCheck]:
         totals = report.totals
         alerts = report.alerts
@@ -785,6 +818,10 @@ class ScenarioRunner:
             "min_repository_changes": report.repository.get("changes", 0),
             "min_snapshots": report.repository.get("snapshots", 0),
             "min_rollbacks": report.repository.get("rollbacks", 0),
+            "max_batch_latency_ms": round(
+                max(batch_latencies) if batch_latencies else 0.0, 3
+            ),
+            "max_wall_seconds": round(wall_seconds, 3),
         }
         checks: List[ExitCheck] = []
         for name, expected in self.spec.exit.checks:

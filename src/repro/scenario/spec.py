@@ -688,6 +688,12 @@ _EXIT_CHECKS: Dict[str, str] = {
     "min_repository_changes": "ge",
     "min_snapshots": "ge",
     "min_rollbacks": "ge",
+    # Wall-clock budgets (ROADMAP item 4: latency/budget exit conditions).
+    # These read the host's real clock, so specs using them trade away
+    # byte-replay identity of the *report* (the measured milliseconds
+    # differ run to run); the golden scenarios stay wall-free.
+    "max_batch_latency_ms": "le",
+    "max_wall_seconds": "le",
 }
 
 

@@ -1,0 +1,172 @@
+"""Durable state for the streaming service.
+
+The daemon's recovery contract is *byte identity*: a process SIGKILL'd at
+any instant must resume and produce exactly the bytes an uninterrupted
+run would have. Two write disciplines (both from
+:mod:`repro.core.durability`) make that hold:
+
+* ``checkpoint.json`` — the full operational snapshot, atomically
+  replaced after every batch. A crash leaves either the previous
+  checkpoint or the new one, never a torn mix.
+* ``batches.jsonl`` — an append-only journal of every batch the daemon
+  ingested (one fsync'd line per batch, items inlined). On resume the
+  journal replays the *prepared-item corpus* into the incremental
+  executor without re-running classification.
+
+The checkpoint records the journal's **byte offset** at snapshot time
+(likewise for the provenance spool and the metric series). Anything past
+those offsets was written by a run that died before checkpointing it;
+:meth:`CheckpointStore.truncate` rolls the files back so the replayed
+batches regenerate those bytes identically instead of duplicating them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.durability import (
+    JsonlAppender,
+    atomic_write_json,
+    fsync_dir,
+    scan_jsonl,
+)
+
+#: Bumped when the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+CHECKPOINT_NAME = "checkpoint.json"
+JOURNAL_NAME = "batches.jsonl"
+SPOOL_NAME = "provenance.jsonl"
+SERIES_NAME = "series.jsonl"
+REPO_DIR = "repo"
+
+
+def truncate_file(path: str, keep_bytes: int) -> int:
+    """Durably truncate ``path`` to ``keep_bytes``; returns bytes dropped.
+
+    Missing file with ``keep_bytes == 0`` is a no-op (nothing was ever
+    written); a missing file with a positive offset is corruption the
+    caller must surface, so it raises.
+    """
+    if not os.path.exists(path):
+        if keep_bytes == 0:
+            return 0
+        raise FileNotFoundError(
+            f"checkpoint expects {keep_bytes} bytes of {path!r}, file is missing"
+        )
+    size = os.path.getsize(path)
+    if keep_bytes > size:
+        raise ValueError(
+            f"checkpoint expects {keep_bytes} bytes of {path!r}, "
+            f"only {size} on disk — the checkpoint is ahead of its logs"
+        )
+    if keep_bytes == size:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    fsync_dir(os.path.dirname(os.path.abspath(path)))
+    return size - keep_bytes
+
+
+class CheckpointStore:
+    """The service's on-disk root: checkpoint, journal, spool, series.
+
+    Layout under ``root``::
+
+        checkpoint.json    atomic full snapshot (one per batch)
+        batches.jsonl      append-only batch journal (items inlined)
+        provenance.jsonl   provenance spool (spool-all mode)
+        series.jsonl       metric time-series samples
+        repo/              file-backed RuleRepository (changelog.jsonl)
+    """
+
+    def __init__(self, root: str, fsync: bool = True):
+        self.root = root
+        self.fsync = fsync
+        os.makedirs(root, exist_ok=True)
+        self.checkpoint_path = os.path.join(root, CHECKPOINT_NAME)
+        self.journal_path = os.path.join(root, JOURNAL_NAME)
+        self.spool_path = os.path.join(root, SPOOL_NAME)
+        self.series_path = os.path.join(root, SERIES_NAME)
+        self.repo_root = os.path.join(root, REPO_DIR)
+        self._journal: Optional[JsonlAppender] = None
+
+    # -- checkpoint document -----------------------------------------------------
+
+    def save(self, state: Dict[str, Any]) -> None:
+        """Atomically replace the checkpoint document."""
+        atomic_write_json(self.checkpoint_path, state)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The last durable checkpoint, or ``None`` on a fresh root."""
+        if not os.path.exists(self.checkpoint_path):
+            return None
+        with open(self.checkpoint_path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version!r} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return state
+
+    # -- batch journal -----------------------------------------------------------
+
+    def append_batch(self, record: Dict[str, Any]) -> None:
+        """Durably journal one ingested batch."""
+        if self._journal is None:
+            self._journal = JsonlAppender(self.journal_path, fsync=self.fsync)
+        self._journal.append(record)
+
+    def journal_offset(self) -> int:
+        """Current durable byte length of the batch journal."""
+        if self._journal is not None:
+            handle = self._journal._handle
+            handle.flush()
+            return handle.tell()
+        if os.path.exists(self.journal_path):
+            return os.path.getsize(self.journal_path)
+        return 0
+
+    def read_journal(self) -> List[Dict[str, Any]]:
+        """Every complete journal record (torn trailing bytes ignored)."""
+        if not os.path.exists(self.journal_path):
+            return []
+        records, _torn = scan_jsonl(self.journal_path)
+        return records
+
+    # -- resume rollback ---------------------------------------------------------
+
+    def truncate(self, offsets: Dict[str, int]) -> Dict[str, int]:
+        """Roll the append-only files back to the checkpointed offsets.
+
+        Must run *before* any appender is opened on them. Returns the
+        bytes dropped per file (the footprint of the crashed run's
+        unacknowledged tail), for operator visibility.
+        """
+        if self._journal is not None:
+            raise RuntimeError("truncate() must run before the journal is opened")
+        dropped = {}
+        for name, path in (
+            ("journal", self.journal_path),
+            ("spool", self.spool_path),
+            ("series", self.series_path),
+        ):
+            dropped[name] = truncate_file(path, int(offsets.get(name, 0)))
+        return dropped
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,642 @@
+"""The durable streaming daemon.
+
+:class:`StreamService` is the paper's §2.2 "never ending" deployment made
+restartable: it follows a :class:`~repro.catalog.batches.BatchStream`
+continuously through the Chimera pipeline on the
+:class:`~repro.execution.incremental.IncrementalExecutor` and checkpoints
+its *entire* operational state after every batch — MatchStore
+generations, rule-repository head, :class:`RuleHealthTracker` windows,
+the incident log, the provenance spool offset, every RNG stream, and the
+simulated clock. Kill the process at any instant (SIGKILL, power cut,
+torn write) and a resumed instance continues **byte-identical** to an
+uninterrupted run: same fired-map digest chain, same health windows,
+same incident log.
+
+Recovery strategy — deterministic re-execution plus verbatim state:
+
+* Cheap derived state (taxonomy, classifiers, training, the analyst's
+  startup rules) is *re-derived* by replaying the seeded startup path.
+  On resume the analyst's rule draws are discarded (they only keep its
+  RNG in lockstep); the rule repository — pinned at the checkpointed
+  change-log seq — is the source of truth for rules and enabled flags.
+* Stream/generator RNGs, the clock, health windows, incidents, and the
+  executor's match store are restored *verbatim* from the checkpoint.
+* Append-only files (batch journal, provenance spool, metric series)
+  are rolled back to the checkpointed byte offsets, so a crashed run's
+  unacknowledged tail is regenerated identically instead of duplicated.
+
+Wall-clock metrics (span latency histograms, per-batch ``wall_ms``) are
+operational telemetry and explicitly *outside* the identity contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analyst.analyst import SimulatedAnalyst
+from repro.catalog import CatalogGenerator, build_seed_taxonomy
+from repro.catalog.batches import Batch, BatchStream
+from repro.catalog.types import ProductItem
+from repro.chimera.incidents import Incident, IncidentManager
+from repro.chimera.pipeline import BatchResult, Chimera
+from repro.core.rule import Rule
+from repro.observability import Observability
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.provenance import ProvenanceLog
+from repro.observability.quality import (
+    PRECISION_FLOOR,
+    QualityTelemetry,
+    RuleHealthTracker,
+)
+from repro.repository import RuleRepository, bind_chimera
+from repro.scenario.runner import sub_seed
+from repro.service.checkpoint import CHECKPOINT_VERSION, CheckpointStore
+from repro.service.series import SeriesStore
+from repro.testing.faults import CrashPlan
+from repro.utils.clock import SimClock
+
+#: The digest chain's seed value (ordinal 0, before any batch).
+GENESIS_DIGEST = hashlib.sha256(b"repro-service-genesis").hexdigest()
+
+_SERVICE_STAGES = ("rule-based", "attr-value", "filter")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deterministic knobs of one service deployment.
+
+    The fingerprint covers every field, so a resume against a root whose
+    checkpoint was written under different knobs fails loudly instead of
+    silently diverging.
+    """
+
+    seed: int = 0
+    training: int = 120
+    min_examples: int = 2
+    rules_per_day: int = 40
+    mean_gap_hours: float = 6.0
+    quality_window: int = 8
+    baseline_batches: int = 3
+    precision_floor: float = PRECISION_FLOOR
+    provenance_capacity: int = 10_000
+    series_window: int = 512
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# -- JSON codecs for the checkpoint document --------------------------------------
+
+
+def _rng_dump(rng) -> List[Any]:
+    version, internal, gauss = rng.getstate()
+    return [version, list(internal), gauss]
+
+
+def _rng_load(rng, state: List[Any]) -> None:
+    rng.setstate((state[0], tuple(state[1]), state[2]))
+
+
+def _item_to_dict(item: ProductItem) -> Dict[str, Any]:
+    return {
+        "item_id": item.item_id,
+        "title": item.title,
+        "attributes": dict(item.attributes),
+        "true_type": item.true_type,
+        "vendor": item.vendor,
+        "description": item.description,
+    }
+
+
+def _item_from_dict(payload: Dict[str, Any]) -> ProductItem:
+    return ProductItem(
+        item_id=payload["item_id"],
+        title=payload["title"],
+        attributes=dict(payload["attributes"]),
+        true_type=payload["true_type"],
+        vendor=payload["vendor"],
+        description=payload.get("description", ""),
+    )
+
+
+def _incident_to_dict(incident: Incident) -> Dict[str, Any]:
+    return {
+        "incident_id": incident.incident_id,
+        "opened_at": incident.opened_at,
+        "affected_types": list(incident.affected_types),
+        "disabled_rule_ids": {
+            stage: list(ids) for stage, ids in sorted(incident.disabled_rule_ids.items())
+        },
+        "status": incident.status,
+        "notes": list(incident.notes),
+        "kind": incident.kind,
+        "rule_ids": list(incident.rule_ids),
+    }
+
+
+def _incident_from_dict(payload: Dict[str, Any]) -> Incident:
+    return Incident(
+        incident_id=payload["incident_id"],
+        opened_at=payload["opened_at"],
+        affected_types=tuple(payload["affected_types"]),
+        disabled_rule_ids={
+            stage: list(ids) for stage, ids in payload["disabled_rule_ids"].items()
+        },
+        status=payload["status"],
+        notes=list(payload["notes"]),
+        kind=payload["kind"],
+        rule_ids=tuple(payload["rule_ids"]),
+    )
+
+
+class StreamService:
+    """The checkpointed streaming daemon. ``start()`` then ``run(n)``.
+
+    ``crash_plan`` (a :class:`~repro.testing.faults.CrashPlan`) lets
+    durability tests SIGKILL the loop at named barriers:
+    ``journal-appended``, ``classified``, ``before-checkpoint``,
+    ``after-checkpoint``.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        config: Optional[ServiceConfig] = None,
+        fsync: bool = True,
+        crash_plan: Optional[CrashPlan] = None,
+    ):
+        self.root = root
+        self.store = CheckpointStore(root, fsync=fsync)
+        self.fsync = fsync
+        self.crash_plan = crash_plan if crash_plan is not None else CrashPlan()
+        self._config_given = config is not None
+        self.config = config if config is not None else ServiceConfig()
+        self.ordinal = 0
+        self.digest_chain = GENESIS_DIGEST
+        self.totals: Dict[str, int] = {
+            "items": 0, "classified": 0, "declined": 0, "rejected": 0,
+        }
+        self.resumed = False
+        self.rolled_back: Dict[str, int] = {}
+        self._incident_seq = 0
+        self._rule_seq = 0
+        self._started = False
+        self.series: Optional[SeriesStore] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "StreamService":
+        """Fresh-start or resume, depending on what the root holds."""
+        if self._started:
+            raise RuntimeError("service already started")
+        state = self.store.load()
+        if state is None:
+            self._fresh()
+        else:
+            self._resume(state)
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        if not self._started:
+            self.store.close()
+            return
+        self.incremental.detach()
+        self.repository.close()
+        self.provenance.close()
+        if self.series is not None:
+            self.series.close()
+        self.store.close()
+        self._started = False
+
+    def __enter__(self) -> "StreamService":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- world construction -------------------------------------------------------
+
+    def _reid(self, rules: List[Rule], kind: str) -> List[Rule]:
+        """Service-local rule ids (the process-global counter is not
+        replayable across restarts — same trick as the scenario runner)."""
+        out = []
+        for rule in rules:
+            self._rule_seq += 1
+            rule.rule_id = f"svc-{kind}-{self._rule_seq:04d}"
+            out.append(rule)
+        return out
+
+    def _on_span_end(self, span) -> None:
+        self.obs.metrics.histogram("span_seconds", span=span.name).observe(
+            span.duration
+        )
+
+    def _on_alert(self, alert) -> None:
+        incident = self.manager.open_rule_incident(
+            alert.rule_ids,
+            reason=f"[{alert.kind}] batch {alert.batch_id}: {alert.detail}",
+            at=self.clock.now,
+        )
+        # Re-id before scale_down: the repository records the incident id
+        # as provenance for every rule it disables, and the process-global
+        # incident counter is not replayable across restarts.
+        self._incident_seq += 1
+        incident.incident_id = f"svc-{self._incident_seq:04d}"
+        self.manager.scale_down(incident)
+
+    def _build_world(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        add_startup_rules: bool = True,
+    ) -> None:
+        """Deterministic startup: seeded sub-streams, training, rules.
+
+        On resume (``add_startup_rules=False``) the analyst's obvious-rule
+        draws still run — they keep its RNG in lockstep with the fresh
+        path — but the rules are discarded: the pinned repository is the
+        source of truth for what survives a restart.
+        """
+        cfg = self.config
+
+        def sub(tag: str) -> int:
+            return sub_seed(cfg.seed, tag)
+
+        self.clock = SimClock()
+        self.taxonomy = build_seed_taxonomy()
+        self.generator = CatalogGenerator(self.taxonomy, seed=sub("generator"))
+        self.analyst = SimulatedAnalyst(
+            self.taxonomy,
+            clock=self.clock,
+            seed=sub("analyst"),
+            rules_per_day=cfg.rules_per_day,
+        )
+        self.obs = Observability()
+        if metrics is not None:
+            # Must land before Chimera.build: the stage health monitor
+            # captures obs.metrics at assembly time.
+            self.obs.metrics = metrics
+        self.obs.tracer.on_span_end.append(self._on_span_end)
+        self.chimera = Chimera.build(
+            seed=sub("chimera") % (2 ** 31), observability=self.obs
+        )
+        if cfg.training:
+            self.chimera.add_training(self.generator.generate_labeled(cfg.training))
+            self.chimera.retrain(min_examples_per_type=cfg.min_examples)
+        for type_name in tuple(self.taxonomy.type_names):
+            rules = self._reid(self.analyst.obvious_rules(type_name), "wl")
+            if add_startup_rules:
+                self.chimera.add_whitelist_rules(rules)
+        self.stream = BatchStream(
+            self.generator,
+            self.clock,
+            seed=sub("stream"),
+            mean_gap_hours=cfg.mean_gap_hours,
+        )
+        self.tracker = RuleHealthTracker(
+            window=cfg.quality_window,
+            baseline_batches=cfg.baseline_batches,
+            precision_floor=cfg.precision_floor,
+            metrics=self.obs.metrics,
+        )
+
+    def _finish_wiring(self) -> None:
+        """Wiring shared by both startup paths, post rule/repo setup."""
+        self.chimera.enable_quality_telemetry(
+            QualityTelemetry(provenance=self.provenance, health=self.tracker)
+        )
+        self.tracker.on_alert.append(self._on_alert)
+        self.incremental = self.chimera.track_fired_map(
+            "rule-based", batch_stream=self.stream
+        )
+
+    def _fresh(self) -> None:
+        cfg = self.config
+        self._build_world(add_startup_rules=True)
+        self.provenance = ProvenanceLog(
+            capacity=cfg.provenance_capacity,
+            spool=self.store.spool_path,
+            spool_all=True,
+        )
+        self.repository = RuleRepository.open(
+            self.store.repo_root, clock=self.clock, fsync=self.fsync
+        )
+        self.repository.default_author = "service"
+        bind_chimera(self.repository, self.chimera)
+        self.manager = IncidentManager(self.chimera, repository=self.repository)
+        self._finish_wiring()
+        self.series = SeriesStore(
+            self.store.series_path, window=cfg.series_window, fsync=self.fsync
+        )
+        self._prev_metrics = self.obs.metrics.snapshot()
+        # Ordinal-0 checkpoint: a kill before the first batch resumes too.
+        self._checkpoint()
+
+    def _resume(self, state: Dict[str, Any]) -> None:
+        cfg_state = ServiceConfig(**state["config"])
+        if self._config_given and self.config.fingerprint() != cfg_state.fingerprint():
+            raise ValueError(
+                f"config fingerprint mismatch: checkpoint has "
+                f"{cfg_state.fingerprint()}, caller passed {self.config.fingerprint()}"
+            )
+        self.config = cfg_state
+        cfg = self.config
+
+        # 1. Roll the append-only files back to the checkpointed offsets —
+        #    before anything opens an appender on them.
+        self.rolled_back = self.store.truncate(state["offsets"])
+
+        # 2. Deterministic startup re-execution (rules discarded).
+        self._build_world(
+            metrics=MetricsRegistry.load(state["metrics"]),
+            add_startup_rules=False,
+        )
+
+        # 3. Repository pinned at the checkpointed change-log head; any
+        #    entries a crashed run wrote past it are truncated away.
+        self.repository = RuleRepository.open(
+            self.store.repo_root,
+            clock=self.clock,
+            fsync=self.fsync,
+            pin_seq=int(state["repo_head_seq"]),
+        )
+        self.repository.default_author = "service"
+
+        # 4. Materialize the repository back into the pipeline's rulesets
+        #    (ids, payloads, enabled flags all round-trip), then bind —
+        #    the reconcile is silent because the states already agree.
+        for stage in _SERVICE_STAGES:
+            target = self.chimera._stage_ruleset(stage)
+            for rule in self.repository.materialize(f"chimera/{stage}"):
+                target.add(rule)
+        bind_chimera(self.repository, self.chimera)
+
+        # 5. Clock and every RNG stream, restored verbatim.
+        self.clock.now = float(state["clock_now"])
+        _rng_load(self.stream.rng, state["stream"]["rng"])
+        self.stream._next_batch = int(state["stream"]["next_batch"])
+        _rng_load(self.generator.rng, state["generator"]["rng"])
+        self.generator._next_id = int(state["generator"]["next_id"])
+        _rng_load(self.analyst.rng, state["analyst_rng"])
+        self.chimera._batch_counter = int(state["batch_counter"])
+        self._rule_seq = int(state["rule_seq"])
+
+        # 6. Provenance: replay the (already truncated) spool.
+        if os.path.exists(self.store.spool_path):
+            self.provenance = ProvenanceLog.replay(
+                self.store.spool_path, capacity=cfg.provenance_capacity
+            )
+        else:
+            self.provenance = ProvenanceLog(
+                capacity=cfg.provenance_capacity,
+                spool=self.store.spool_path,
+                spool_all=True,
+            )
+
+        # 7. Health windows, verbatim.
+        self.tracker.load_state(state["tracker"])
+
+        # 8. Incident log + the service-local incident counter.
+        self.manager = IncidentManager(self.chimera, repository=self.repository)
+        self.manager.incidents = [
+            _incident_from_dict(payload) for payload in state["incidents"]
+        ]
+        self._incident_seq = int(state["incident_seq"])
+
+        self._finish_wiring()
+
+        # 9. Incremental executor: re-admit the journalled corpus (prepare
+        #    + index only — no re-evaluation), then load the match store
+        #    verbatim and re-prime the fired-map memo.
+        items = [
+            _item_from_dict(payload)
+            for record in self.store.read_journal()
+            for payload in record["items"]
+        ]
+        self.incremental.restore_items(items)
+        self.incremental.restore_state(state["executor"])
+
+        # 10. Run counters and telemetry stores.
+        self.ordinal = int(state["ordinal"])
+        self.digest_chain = str(state["digest_chain"])
+        self.totals = {key: int(value) for key, value in state["totals"].items()}
+        self.series = SeriesStore(
+            self.store.series_path, window=cfg.series_window, fsync=self.fsync
+        )
+        self._prev_metrics = self.obs.metrics.snapshot()
+        self.resumed = True
+
+    # -- the batch loop -----------------------------------------------------------
+
+    def process_batch(self) -> Tuple[Batch, BatchResult]:
+        """Ingest → journal → classify → digest → sample → checkpoint."""
+        if not self._started:
+            raise RuntimeError("service not started; call start() first")
+        started = time.perf_counter()
+        # next_batch() pushes the items into the incremental executor via
+        # its stream subscription before returning.
+        batch = self.stream.next_batch()
+        self.ordinal += 1
+        self.store.append_batch({
+            "ordinal": self.ordinal,
+            "batch_id": batch.batch_id,
+            "vendor": batch.vendor,
+            "arrived_at": batch.arrived_at,
+            "items": [_item_to_dict(item) for item in batch.items],
+        })
+        self.crash_plan.reached("journal-appended")
+        result = self.chimera.classify_batch(batch.items, batch_id=batch.batch_id)
+        self.crash_plan.reached("classified")
+        fired = self.incremental.fired_map()
+        payload = json.dumps(
+            {item: list(rules) for item, rules in fired.items()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        self.digest_chain = hashlib.sha256(
+            (self.digest_chain + batch.batch_id + payload).encode("utf-8")
+        ).hexdigest()
+        self.totals["items"] += len(batch.items)
+        self.totals["classified"] += len(result.classified_pairs)
+        self.totals["declined"] += len(result.declined)
+        self.totals["rejected"] += len(result.rejected)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        self._sample(batch, result, fired, wall_ms)
+        self.crash_plan.reached("before-checkpoint")
+        self._checkpoint()
+        self.crash_plan.reached("after-checkpoint")
+        self.obs.tracer.clear()  # bound span memory over the long run
+        return batch, result
+
+    def run(self, batches: int) -> None:
+        """Process ``batches`` more batches."""
+        if batches < 0:
+            raise ValueError(f"batches must be non-negative, got {batches}")
+        for _ in range(batches):
+            self.process_batch()
+
+    def run_to(self, ordinal: int) -> None:
+        """Process batches until ``self.ordinal`` reaches ``ordinal``."""
+        while self.ordinal < ordinal:
+            self.process_batch()
+
+    # -- persistence --------------------------------------------------------------
+
+    def _sample(
+        self,
+        batch: Batch,
+        result: BatchResult,
+        fired: Dict[str, List[str]],
+        wall_ms: float,
+    ) -> None:
+        snapshot = self.obs.metrics.snapshot()
+        delta = self.obs.metrics.delta(self._prev_metrics)
+        self._prev_metrics = snapshot
+        self.series.append({
+            "ordinal": self.ordinal,
+            "batch_id": batch.batch_id,
+            "vendor": batch.vendor,
+            "arrived_day": round(batch.arrived_at, 6),
+            "items": len(batch.items),
+            "classified": len(result.classified_pairs),
+            "declined": len(result.declined),
+            "rejected": len(result.rejected),
+            "coverage": round(result.coverage, 6),
+            "fired_pairs": sum(len(rules) for rules in fired.values()),
+            "alerts_total": len(self.tracker.alerts),
+            "incidents_open": self.open_incidents(),
+            "breakers_degraded": len(self.chimera.health.degraded_stages()),
+            "wall_ms": round(wall_ms, 3),
+            "delta": delta,
+        })
+
+    def _checkpoint(self) -> None:
+        self.store.save({
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.config.fingerprint(),
+            "config": self.config.to_dict(),
+            "ordinal": self.ordinal,
+            "digest_chain": self.digest_chain,
+            "clock_now": self.clock.now,
+            "stream": {
+                "rng": _rng_dump(self.stream.rng),
+                "next_batch": self.stream._next_batch,
+            },
+            "generator": {
+                "rng": _rng_dump(self.generator.rng),
+                "next_id": self.generator._next_id,
+            },
+            "analyst_rng": _rng_dump(self.analyst.rng),
+            "batch_counter": self.chimera._batch_counter,
+            "rule_seq": self._rule_seq,
+            "offsets": {
+                "journal": self.store.journal_offset(),
+                "spool": self.provenance.spool_offset(),
+                "series": self.series.offset(),
+            },
+            "repo_head_seq": self._repo_head_seq(),
+            "executor": self.incremental.export_state(),
+            "tracker": self.tracker.state_dict(),
+            "incidents": [
+                _incident_to_dict(incident) for incident in self.manager.incidents
+            ],
+            "incident_seq": self._incident_seq,
+            "metrics": self.obs.metrics.dump(),
+            "totals": dict(self.totals),
+        })
+
+    def _repo_head_seq(self) -> int:
+        entries = self.repository.log.entries
+        return entries[-1].seq if entries else 0
+
+    # -- views (identity contract + console) --------------------------------------
+
+    def open_incidents(self) -> int:
+        return sum(
+            1 for incident in self.manager.incidents if incident.status != "closed"
+        )
+
+    def identity(self) -> Dict[str, Any]:
+        """The byte-identity surface: everything replay must reproduce.
+
+        Wall-clock telemetry (metrics, tracer spans, ``wall_ms`` series
+        values) is deliberately excluded — it measures the host, not the
+        computation.
+        """
+        return {
+            "ordinal": self.ordinal,
+            "digest_chain": self.digest_chain,
+            "clock_now": self.clock.now,
+            "batch_counter": self.chimera._batch_counter,
+            "tracker": self.tracker.state_dict(),
+            "incidents": [
+                _incident_to_dict(incident) for incident in self.manager.incidents
+            ],
+            "incident_seq": self._incident_seq,
+            "provenance_records": self.provenance.total_records,
+            "rules": self.chimera.rule_count(),
+            "repo_head_seq": self._repo_head_seq(),
+            "totals": dict(self.totals),
+        }
+
+    def identity_json(self) -> str:
+        return json.dumps(self.identity(), sort_keys=True, indent=2) + "\n"
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/health`` document."""
+        return {
+            "status": "ok",
+            "ordinal": self.ordinal,
+            "resumed": self.resumed,
+            "sim_days": round(self.clock.now, 6),
+            "clock_day": self.clock.day,
+            "totals": dict(self.totals),
+            "rules": self.chimera.rule_count(),
+            "incidents_total": len(self.manager.incidents),
+            "incidents_open": self.open_incidents(),
+            "alerts_total": len(self.tracker.alerts),
+            "provenance_records": self.provenance.total_records,
+            "repo_changes": len(self.repository.log),
+            "stages": self.chimera.health.report(),
+            "digest_chain": self.digest_chain,
+        }
+
+    def incidents_view(self) -> List[Dict[str, Any]]:
+        return [
+            _incident_to_dict(incident) for incident in self.manager.incidents
+        ]
+
+    def rule_view(self, rule_id: str) -> Optional[Dict[str, Any]]:
+        """The ``/rules/<id>`` document: placement, health, fired items."""
+        stage_name = None
+        enabled = None
+        for stage in _SERVICE_STAGES:
+            ruleset = self.chimera._stage_ruleset(stage)
+            if rule_id in ruleset:
+                stage_name = stage
+                enabled = ruleset.is_enabled(rule_id)
+                break
+        health = self.tracker.report().get(rule_id)
+        if stage_name is None and health is None:
+            return None
+        fired_items = sorted(
+            item
+            for item, rules in self.incremental.fired_map().items()
+            if rule_id in rules
+        )
+        return {
+            "rule_id": rule_id,
+            "stage": stage_name,
+            "enabled": enabled,
+            "health": health,
+            "fired_count": len(fired_items),
+            "fired_items": fired_items[:100],
+        }

@@ -1,0 +1,273 @@
+"""Unit and console coverage for the durable streaming service.
+
+Companion to ``test_service_resume.py`` (which owns the crash-kill
+identity property). Here: the checkpoint store's offset/rollback
+mechanics, the series ring, the metrics snapshot/delta sampling API
+(sampling must never perturb the registry), the HTTP console routes,
+the disk-only dashboard, and the serve/dashboard/scenario-diff CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.observability.metrics import MetricsRegistry
+from repro.service import (
+    CheckpointStore,
+    SeriesStore,
+    ServiceConfig,
+    ServiceHttpServer,
+    StreamService,
+    render_dashboard,
+)
+from repro.service.checkpoint import CHECKPOINT_VERSION, truncate_file
+from repro.service.series import load_series
+
+
+# -- checkpoint store ----------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        with CheckpointStore(str(tmp_path), fsync=False) as store:
+            assert store.load() is None
+            store.save({"version": CHECKPOINT_VERSION, "ordinal": 3})
+            assert store.load()["ordinal"] == 3
+
+    def test_version_mismatch_raises(self, tmp_path):
+        with CheckpointStore(str(tmp_path), fsync=False) as store:
+            store.save({"version": 999})
+            with pytest.raises(ValueError, match="version"):
+                store.load()
+
+    def test_journal_append_and_offsets(self, tmp_path):
+        with CheckpointStore(str(tmp_path), fsync=False) as store:
+            assert store.journal_offset() == 0
+            store.append_batch({"ordinal": 1})
+            first = store.journal_offset()
+            store.append_batch({"ordinal": 2})
+            assert store.journal_offset() > first
+            assert [r["ordinal"] for r in store.read_journal()] == [1, 2]
+
+    def test_truncate_rolls_back_unacknowledged_tail(self, tmp_path):
+        root = str(tmp_path)
+        with CheckpointStore(root, fsync=False) as store:
+            store.append_batch({"ordinal": 1})
+            keep = store.journal_offset()
+            store.append_batch({"ordinal": 2})
+        with CheckpointStore(root, fsync=False) as store:
+            dropped = store.truncate({"journal": keep})
+            assert dropped["journal"] > 0
+            assert dropped["spool"] == 0 and dropped["series"] == 0
+            assert [r["ordinal"] for r in store.read_journal()] == [1]
+
+    def test_truncate_after_journal_open_is_refused(self, tmp_path):
+        with CheckpointStore(str(tmp_path), fsync=False) as store:
+            store.append_batch({"ordinal": 1})
+            with pytest.raises(RuntimeError, match="before the journal"):
+                store.truncate({"journal": 0})
+
+    def test_truncate_file_edge_cases(self, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert truncate_file(missing, 0) == 0
+        with pytest.raises(FileNotFoundError):
+            truncate_file(missing, 5)
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w") as handle:
+            handle.write("x" * 10)
+        with pytest.raises(ValueError, match="ahead of its logs"):
+            truncate_file(path, 11)
+        assert truncate_file(path, 10) == 0
+        assert truncate_file(path, 4) == 6
+
+
+# -- series store --------------------------------------------------------------
+
+
+class TestSeriesStore:
+    def test_ring_and_reload(self, tmp_path):
+        path = str(tmp_path / "series.jsonl")
+        with SeriesStore(path, window=3, fsync=False) as series:
+            for ordinal in range(5):
+                series.append({"ordinal": ordinal, "items": ordinal * 10})
+            assert series.total_samples == 5
+            assert [s["ordinal"] for s in series.tail(10)] == [2, 3, 4]
+            assert series.column("items", 2) == [30.0, 40.0]
+        # Reopen: the durable file replays the full history; the ring
+        # keeps only the window.
+        with SeriesStore(path, window=3, fsync=False) as series:
+            assert series.total_samples == 5
+            assert [s["ordinal"] for s in series.tail(10)] == [2, 3, 4]
+        assert len(load_series(path)) == 5
+        assert [s["ordinal"] for s in load_series(path, window=2)] == [3, 4]
+
+    def test_rejects_bad_window_and_count(self, tmp_path):
+        path = str(tmp_path / "series.jsonl")
+        with pytest.raises(ValueError):
+            SeriesStore(path, window=0)
+        with SeriesStore(path, window=2, fsync=False) as series:
+            with pytest.raises(ValueError):
+                series.tail(-1)
+            assert series.tail(0) == []
+
+
+# -- metrics sampling (satellite: snapshot/delta must not perturb) -------------
+
+
+class TestMetricsSampling:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("batches").inc()
+        registry.counter("items", vendor="northstar").inc(40)
+        registry.gauge("open_incidents").set(2)
+        registry.histogram("latency").observe(0.25)
+        return registry
+
+    def test_delta_reports_interval_increase(self):
+        registry = self._populated()
+        prev = registry.snapshot()
+        registry.counter("batches").inc(2)
+        registry.histogram("latency").observe(0.75)
+        delta = registry.delta(prev)
+        assert delta["counters"]["batches"] == 2
+        assert delta["counters"]["items{vendor=northstar}"] == 0
+        assert delta["histograms"]["latency"]["count"] == 1
+        assert delta["histograms"]["latency"]["sum"] == pytest.approx(0.75)
+        assert delta["gauges"]["open_incidents"] == 2
+
+    def test_sampling_leaves_values_untouched(self):
+        """A poller may snapshot/delta every batch without resetting anything."""
+        registry = self._populated()
+        before = registry.snapshot()
+        prev = registry.snapshot()
+        for _ in range(10):
+            registry.delta(prev)
+            prev = registry.snapshot()
+        assert registry.snapshot() == before
+        assert registry.counter("batches").value == 1
+        assert registry.histogram("latency").count == 1
+
+    def test_dump_load_roundtrip_continues_accumulating(self):
+        registry = self._populated()
+        clone = MetricsRegistry.load(registry.dump())
+        assert clone.snapshot() == registry.snapshot()
+        assert clone.dump() == registry.dump()
+        clone.counter("batches").inc()
+        assert clone.counter("batches").value \
+            == registry.counter("batches").value + 1
+
+
+# -- live console + dashboard --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live_service(tmp_path_factory):
+    """One running 4-batch service shared by the read-only console tests."""
+    root = str(tmp_path_factory.mktemp("service-live") / "run")
+    service = StreamService(root, fsync=False)
+    service.start()
+    service.run_to(4)
+    yield service
+    service.close()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHttpConsole:
+    @pytest.fixture(scope="class")
+    def server(self, live_service):
+        with ServiceHttpServer(live_service) as server:
+            yield server
+
+    def test_health(self, server):
+        status, doc = _get(server.url + "/health")
+        assert status == 200
+        assert doc["status"] == "ok" and doc["ordinal"] == 4
+        assert "rule-based" in doc["stages"]
+
+    def test_metrics(self, server):
+        status, doc = _get(server.url + "/metrics")
+        assert status == 200
+        assert any(k.startswith("classify") or k for k in doc["counters"])
+
+    def test_incidents_and_series(self, server):
+        status, incidents = _get(server.url + "/incidents")
+        assert status == 200 and isinstance(incidents, list)
+        status, samples = _get(server.url + "/series?n=2")
+        assert status == 200 and len(samples) == 2
+        assert samples[-1]["ordinal"] == 4
+
+    def test_rule_view_and_404(self, server):
+        status, doc = _get(server.url + "/rules/svc-wl-0001")
+        assert status == 200
+        assert doc["stage"] == "rule-based" and doc["enabled"] is True
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/rules/no-such-rule")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/no-such-route")
+        assert excinfo.value.code == 404
+
+    def test_index(self, server):
+        status, doc = _get(server.url + "/")
+        assert status == 200 and "/health" in doc["endpoints"]
+
+
+class TestDashboard:
+    def test_renders_from_disk(self, live_service):
+        text = render_dashboard(live_service.root)
+        assert "ordinal 4" in text
+        assert "items/batch" in text and "coverage" in text
+
+    def test_missing_root(self, tmp_path):
+        text = render_dashboard(str(tmp_path / "empty"))
+        assert "has the service run?" in text
+
+
+# -- config fingerprint guard --------------------------------------------------
+
+
+def test_resume_with_mismatched_config_raises(tmp_path):
+    root = str(tmp_path / "run")
+    service = StreamService(root, fsync=False)
+    service.start()
+    service.run_to(1)
+    service.close()
+    conflicting = StreamService(
+        root, config=ServiceConfig(seed=99), fsync=False
+    )
+    with pytest.raises(ValueError, match="fingerprint mismatch"):
+        conflicting.start()
+    conflicting.close()
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+class TestServiceCli:
+    def test_dashboard_out(self, live_service, tmp_path, capsys):
+        out = str(tmp_path / "dash.txt")
+        assert cli_main(
+            ["dashboard", "--root", live_service.root, "--out", out]
+        ) == 0
+        with open(out) as handle:
+            assert "repro stream service" in handle.read()
+
+    def test_serve_runs_batches_then_exits(self, tmp_path, capsys):
+        root = str(tmp_path / "run")
+        assert cli_main(
+            ["serve", "--root", root, "--batches", "2",
+             "--no-fsync", "--quiet"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "serving" in captured.err
+        assert os.path.exists(os.path.join(root, "checkpoint.json"))
